@@ -1,0 +1,186 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These quantify the mechanisms the paper leans on:
+
+* **access decoupling** (Sections 2/5): lane-core performance vs the
+  depth of the load run-ahead window -- the crux of Figure 6;
+* **chaining** (Section 2): dependent vector chains with and without
+  element-wise forwarding;
+* **L2 banking**: stride sensitivity vs the number of banks;
+* **VCL issue width** (Section 3): short-vector throughput vs the
+  vector issue rate, the paper's central "instruction issue bandwidth"
+  concern.
+"""
+
+from dataclasses import replace
+
+from repro.isa import assemble
+from repro.timing import clear_trace_cache, simulate
+from repro.timing.config import BASE, VLT_SCALAR, base_config
+from repro.workloads import get_workload
+
+from .conftest import run_once
+
+
+def test_ablation_decoupling_depth(benchmark, capsys):
+    """Lane-core decouple depth: 0 (pure in-order) vs 8 vs 48.
+
+    radix's dependent-load inner loops are the workload most sensitive
+    to the lanes' access-decoupling window."""
+    w = get_workload("radix")
+    prog = w.program(scalar_only=True)
+
+    def sweep():
+        out = {}
+        for depth in (0, 8, 48):
+            cfg = replace(VLT_SCALAR, name=f"VLT-d{depth}",
+                          lane_core=replace(VLT_SCALAR.lane_core,
+                                            decouple_depth=depth))
+            out[depth] = simulate(prog, cfg, num_threads=8).cycles
+        return out
+
+    cycles = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nradix on lanes vs decoupling depth:")
+        for d, c in cycles.items():
+            print(f"  depth {d:2d}: {c} cycles")
+    # decoupling must help, monotonically
+    assert cycles[8] < cycles[0]
+    assert cycles[48] <= cycles[8]
+    assert cycles[0] / cycles[48] > 1.15
+
+
+def test_ablation_chaining(benchmark, capsys):
+    """Dependent vector chains with and without chaining."""
+    src = """
+    li s9, 0
+    li s10, 3
+    rep:
+    li s1, 64
+    setvl s2, s1
+    """ + "\n".join("vfadd.vv v1, v1, v2" for _ in range(60)) + """
+    addi s9, s9, 1
+    blt s9, s10, rep
+    halt
+    """
+    prog = assemble(src)
+
+    def sweep():
+        out = {}
+        for delay, label in ((2, "chained"), (100, "unchained")):
+            clear_trace_cache()
+            cfg = replace(BASE, name=f"base-chain{delay}",
+                          vu=replace(BASE.vu, chain_delay=delay))
+            out[label] = simulate(prog, cfg).cycles
+        return out
+
+    cycles = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\n60-deep dependent VL-64 chain x3:")
+        for k, v in cycles.items():
+            print(f"  {k}: {v} cycles")
+    # without chaining every op waits for its producer's completion
+    assert cycles["unchained"] > cycles["chained"] * 1.5
+
+
+def test_ablation_l2_banks(benchmark, capsys):
+    """Strided vector memory vs the number of L2 banks."""
+    src = """
+    .space x 262144
+    li s9, 0
+    li s10, 4
+    rep:
+    li s1, 64
+    setvl s2, s1
+    li s3, &x
+    li s4, 256
+    """ + "\n".join(f"vlds v{1 + i % 8}, {i * 8}(s3), s4"
+                    for i in range(12)) + """
+    addi s9, s9, 1
+    blt s9, s10, rep
+    halt
+    """
+    prog = assemble(src, memory_kib=512)
+
+    def sweep():
+        out = {}
+        for banks in (4, 16, 64):
+            clear_trace_cache()
+            cfg = replace(BASE, name=f"base-b{banks}",
+                          l2=replace(BASE.l2, banks=banks))
+            out[banks] = simulate(prog, cfg).cycles
+        return out
+
+    cycles = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nstride-256 vector loads vs L2 banks:")
+        for b, c in cycles.items():
+            print(f"  {b:2d} banks: {c} cycles")
+    assert cycles[4] > cycles[16] >= cycles[64]
+
+
+def test_ablation_barrier_overhead(benchmark, capsys):
+    """Thread-API overhead (paper Section 7.1 calls it a secondary
+    factor): VLT speedups should degrade only mildly as the barrier
+    release overhead grows by an order of magnitude."""
+    w = get_workload("mpenc")
+    prog = w.program()
+
+    def sweep():
+        out = {}
+        for ovh in (0, 30, 300):
+            base_cfg = replace(BASE, name=f"base-b{ovh}",
+                               barrier_overhead=ovh)
+            from repro.timing.config import V4_CMP as _V4
+            vlt_cfg = replace(_V4, name=f"V4-b{ovh}", barrier_overhead=ovh)
+            base = simulate(prog, base_cfg, num_threads=1).cycles
+            vlt = simulate(prog, vlt_cfg, num_threads=4).cycles
+            out[ovh] = base / vlt
+        return out
+
+    speedups = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nmpenc VLT-4 speedup vs barrier overhead:")
+        for ovh, s in speedups.items():
+            print(f"  {ovh:4d} cycles/barrier: {s:.2f}x")
+    assert speedups[0] >= speedups[30] >= speedups[300]
+    # an order of magnitude more overhead costs < 20% of the speedup
+    assert speedups[300] >= speedups[30] * 0.8
+
+
+def test_ablation_vcl_issue_width(benchmark, capsys):
+    """Short-vector throughput vs VCL issue width (the paper's core
+    bandwidth argument: short vectors need issue rate, long don't)."""
+    def kernel(vl):
+        return assemble(f"""
+        li s9, 0
+        li s10, 4
+        rep:
+        li s1, {vl}
+        setvl s2, s1
+        """ + "\n".join(f"vfadd.vv v{1 + i % 8}, v9, v10"
+                        for i in range(40)) + """
+        addi s9, s9, 1
+        blt s9, s10, rep
+        halt
+        """)
+
+    def sweep():
+        out = {}
+        for vl in (8, 64):
+            prog = kernel(vl)
+            for width in (1, 2, 4):
+                cfg = replace(BASE, name=f"base-w{width}",
+                              vu=replace(BASE.vu, issue_width=width))
+                out[(vl, width)] = simulate(prog, cfg).cycles
+        return out
+
+    cycles = run_once(benchmark, sweep)
+    with capsys.disabled():
+        print("\nindependent vector adds vs VCL issue width:")
+        for (vl, w), c in sorted(cycles.items()):
+            print(f"  VL {vl:2d}, width {w}: {c} cycles")
+    # short vectors are issue-bound: width 2 clearly beats width 1
+    assert cycles[(8, 1)] > cycles[(8, 2)] * 1.3
+    # long vectors are occupancy-bound: width is nearly irrelevant
+    assert cycles[(64, 1)] < cycles[(64, 4)] * 1.25

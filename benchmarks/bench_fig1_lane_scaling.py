@@ -1,0 +1,33 @@
+"""Figure 1: application speedup vs number of vector lanes.
+
+Expected shape (paper): long-vector apps (mxm, sage) scale with lanes;
+short/medium-vector apps (mpenc, trfd, multprec, bt) saturate; scalar
+apps (radix, ocean, barnes) stay flat.
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+from .conftest import run_once
+
+
+def test_fig1_lane_scaling(benchmark, capsys):
+    res = run_once(benchmark, lambda: E.fig1_lane_scaling())
+    with capsys.disabled():
+        print()
+        print(R.render_fig1(res))
+
+    sp8 = {app: res.speedups(app)[-1] for app in res.cycles}
+    # long-vector apps scale
+    assert sp8["mxm"] >= 4.0
+    assert sp8["sage"] >= 4.0
+    # short/medium-vector apps saturate well below linear
+    for app in ("mpenc", "trfd", "multprec", "bt"):
+        assert 1.0 <= sp8[app] <= 3.0, app
+    # scalar apps are flat
+    for app in ("radix", "ocean", "barnes"):
+        assert sp8[app] <= 1.2, app
+    # monotone non-decreasing in lanes for every app
+    for app in res.cycles:
+        sp = res.speedups(app)
+        assert all(b >= a * 0.97 for a, b in zip(sp, sp[1:])), app

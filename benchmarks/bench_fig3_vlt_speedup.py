@@ -1,0 +1,25 @@
+"""Figure 3: VLT speedup for vector threads (V2-CMP / V4-CMP vs base).
+
+Paper bands: 2 threads 1.14-2.15, 4 threads 1.40-2.3; 4 >= 2 per app.
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+from .conftest import run_once
+
+
+def test_fig3_vlt_speedup(benchmark, capsys):
+    res = run_once(benchmark, lambda: E.fig3_vlt_speedup())
+    with capsys.disabled():
+        print()
+        print(R.render_fig3(res))
+
+    for app in res.cycles:
+        s2 = res.speedup(app, 2)
+        s4 = res.speedup(app, 4)
+        # VLT always helps, and within (a widened version of) the bands
+        assert 1.05 <= s2 <= 2.4, (app, s2)
+        assert 1.25 <= s4 <= 3.2, (app, s4)
+        # more threads never hurt
+        assert s4 >= s2 * 0.95, app

@@ -1,0 +1,33 @@
+"""Figure 4: datapath utilization breakdown, base vs VLT-2 vs VLT-4.
+
+Paper shape: VLT compresses execution (total normalised bar shrinks),
+stall and idle cycles shrink, and a significant residue of stall/idle
+remains (sequential portions + functional-unit imbalance).
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+from .conftest import run_once
+
+
+def test_fig4_utilization(benchmark, capsys):
+    res = run_once(benchmark, lambda: E.fig4_utilization())
+    with capsys.disabled():
+        print()
+        print(R.render_fig4(res))
+
+    for app, cfgs in res.data.items():
+        bars = res.normalized_bars(app)
+        total = {k: sum(v.values()) for k, v in bars.items()}
+        # base normalises to 1.0; VLT compresses execution
+        assert abs(total["base"] - 1.0) < 1e-9
+        assert total["VLT-2"] < 1.0, app
+        assert total["VLT-4"] <= total["VLT-2"] * 1.05, app
+        # busy datapath-cycles are conserved (same element work)
+        assert abs(bars["VLT-4"]["busy"] - bars["base"]["busy"]) < 1e-9
+        # stall+idle shrink but do not vanish
+        waste4 = total["VLT-4"] - bars["VLT-4"]["busy"]
+        waste0 = 1.0 - bars["base"]["busy"]
+        assert waste4 < waste0, app
+        assert waste4 > 0.05, app

@@ -1,0 +1,35 @@
+"""Figure 5: the scalar-unit design space for vector threads.
+
+Paper shape (Section 7.1): V2-SMT ~ V2-CMP for two threads; for four
+threads V4-SMT falls behind (4 instructions/cycle cannot feed four
+threads), the hybrid V4-CMT matches the fully-replicated V4-CMP, and
+the heterogeneous V4-CMP-h trails the other replicated configurations.
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+from .conftest import run_once
+
+
+def test_fig5_design_space(benchmark, capsys):
+    res = run_once(benchmark, lambda: E.fig5_design_space())
+    with capsys.disabled():
+        print()
+        print(R.render_fig5(res))
+
+    for app, row in res.speedups.items():
+        # replicated configurations always beat the base machine; the
+        # single-SU (SMT) points may dip to ~0.95 for multprec, whose
+        # scalar carry pass rereads vector-stored lines that coherent
+        # L1s have (correctly) invalidated
+        assert all(v >= 0.9 for v in row.values()), app
+        assert row["V2-CMP"] >= 1.0 and row["V4-CMP"] >= 1.0, app
+        # V4-CMT approaches the fully replicated V4-CMP
+        assert row["V4-CMT"] >= row["V4-CMP"] * 0.8, app
+        # the single multiplexed SU cannot feed 4 threads as well as two
+        assert row["V4-SMT"] <= row["V4-CMT"] * 1.05, app
+        # V4-CMP-h never beats the fully replicated design
+        assert row["V4-CMP-h"] <= row["V4-CMP"] * 1.02, app
+        # replication >= multiplexing at equal thread counts
+        assert row["V2-CMP"] >= row["V2-SMT"] * 0.95, app

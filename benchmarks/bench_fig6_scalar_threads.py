@@ -1,0 +1,29 @@
+"""Figure 6: 8 scalar threads on the vector lanes vs the 2-core CMT.
+
+Paper: ~2x for radix and ocean, parity for barnes.  Our reproduction
+gets the *direction* (ocean clearly ahead on the lanes; radix and barnes
+at parity) but not the full 2x -- our out-of-order CMT baseline
+tolerates L2 latency better than the paper's (see EXPERIMENTS.md for
+the gap analysis and bench_ablations.py for the sensitivity of this
+result to the lanes' access-decoupling depth).
+"""
+
+from repro.harness import experiments as E
+from repro.harness import report as R
+
+from .conftest import run_once
+
+
+def test_fig6_scalar_threads(benchmark, capsys):
+    res = run_once(benchmark, lambda: E.fig6_scalar_threads())
+    with capsys.disabled():
+        print()
+        print(R.render_fig6(res))
+
+    r = {app: res.speedup(app) for app in res.cycles}
+    # ocean: the lanes win (paper: 2.2x; we reproduce the direction)
+    assert r["ocean"] >= 1.25
+    # radix: at least parity-class (paper: 2.0x)
+    assert r["radix"] >= 0.85
+    # barnes: parity (paper: ~1.1x) -- neither side wins big
+    assert 0.75 <= r["barnes"] <= 1.45

@@ -1,0 +1,62 @@
+"""Simulator-throughput benchmarks (the one suite where repeated timing
+measurements, pytest-benchmark's real job, make sense)."""
+
+from repro.isa import assemble
+from repro.timing import clear_trace_cache, simulate
+from repro.timing.config import BASE
+from repro.timing.run import trace_for
+
+_SRC = """
+.space x 8192
+li s5, 0
+li s6, 40
+rep:
+li s1, 64
+setvl s2, s1
+li s3, &x
+vld v1, 0(s3)
+vfmul.vs v2, v1, f1
+vfadd.vv v3, v2, v1
+vst v3, 0(s3)
+li s4, 0
+inner:
+addi s4, s4, 1
+slti s7, s4, 20
+bne s7, s0, inner
+addi s5, s5, 1
+blt s5, s6, rep
+halt
+"""
+
+
+def test_functional_simulation_speed(benchmark):
+    prog = assemble(_SRC)
+
+    def run():
+        clear_trace_cache()
+        return trace_for(prog, 1)
+
+    trace = benchmark(run)
+    assert trace.total_ops() > 2000
+
+
+def test_timing_simulation_speed(benchmark):
+    prog = assemble(_SRC)
+    trace = trace_for(prog, 1)
+
+    def run():
+        return simulate(prog, BASE, trace=trace)
+
+    result = benchmark(run)
+    assert result.cycles > 1000
+
+
+def test_end_to_end_speed(benchmark):
+    prog = assemble(_SRC)
+
+    def run():
+        clear_trace_cache()
+        return simulate(prog, BASE)
+
+    result = benchmark(run)
+    assert result.cycles > 1000

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every bench module regenerates one of the paper's tables/figures: the
+benchmark measures the wall time of the (simulation-heavy) experiment,
+prints the same rows/series the paper reports, and asserts the shape
+criteria from DESIGN.md section 4.
+
+The experiments are deterministic and expensive, so each runs exactly
+once (``benchmark.pedantic`` with one round).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    # keep functional-trace memoisation across benches (it is keyed on
+    # program identity and programs are cached on workload singletons,
+    # which is exactly the reuse we want), but isolate nothing else
+    yield

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""VLT with vector threads: the paper's core experiment, in miniature.
+
+A motion-search-style kernel (the mpenc profile: per-block sums of
+squared differences over 8-element rows) is compiled from the loop-nest
+IR with OpenMP-style outer-loop threading.  Per block there is a short
+VL-8 vector reduction plus an unavoidable scalar tail (accumulate,
+addressing, control) -- and on the base 8-lane machine that scalar tail
+plus the short vectors leave most of the machine idle.  VLT partitions
+the lanes across 2 or 4 threads whose scalar streams run on replicated
+scalar units (V2-CMP / V4-CMP), recovering the throughput: the paper's
+Figures 3 and 4.
+
+Run:  python examples/vlt_short_vectors.py
+"""
+
+import numpy as np
+
+from repro.compiler import (Array, CompileOptions, Kernel, Loop, Reduce,
+                            Var, compile_kernel)
+from repro.functional import Executor
+from repro.timing import simulate
+from repro.timing.config import BASE, V2_CMP, V4_CMP
+
+NBLOCKS = 128
+BL = 8          # block row length: short vectors
+
+
+def build_program():
+    rng = np.random.default_rng(0)
+    x = rng.random((NBLOCKS, BL))
+    y = rng.random((NBLOCKS, BL))
+    i, j = Var("i"), Var("j")
+    X = Array("X", (NBLOCKS, BL), x)
+    Y = Array("Y", (NBLOCKS, BL), y)
+    S = Array("S", (NBLOCKS, 1))
+    # per-block sum of squared differences (blocks parallel, rows VL=8)
+    diff = (X[i, j] - Y[i, j]) * (X[i, j] - Y[i, j])
+    kern = Kernel("blocksad", [
+        Loop(i, NBLOCKS, [
+            Loop(j, BL, [Reduce("+", S[i, 0], diff)], parallel=True),
+        ], parallel=True),
+    ])
+    prog = compile_kernel(kern, CompileOptions(threads=True,
+                                               policy="innermost"))
+    return prog, x, y
+
+
+def main() -> None:
+    prog, x, y = build_program()
+
+    # functional check at 4 threads
+    ex = Executor(prog, num_threads=4)
+    ex.run()
+    got = ex.mem.read_f64_array(prog.symbol_addr("S"), NBLOCKS)
+    assert np.allclose(got, ((x - y) ** 2).sum(axis=1))
+    print("functional result verified (4 threads)\n")
+
+    runs = [("base (1 thread, 8 lanes)", BASE, 1),
+            ("V2-CMP (2 threads x 4 lanes)", V2_CMP, 2),
+            ("V4-CMP (4 threads x 2 lanes)", V4_CMP, 4)]
+    base_cycles = None
+    print(f"{'configuration':<30} {'cycles':>8} {'speedup':>8}  "
+          f"busy/stall/idle")
+    for label, cfg, nt in runs:
+        r = simulate(prog, cfg, num_threads=nt)
+        base_cycles = base_cycles or r.cycles
+        f = r.utilization.fractions()
+        print(f"{label:<30} {r.cycles:>8} "
+              f"{base_cycles / r.cycles:>7.2f}x  "
+              f"{f['busy']:.0%}/{f['stalled']:.0%}"
+              f"/{f['all_idle'] + f['partly_idle']:.0%}")
+    print("\nVLT turns idle lane slots into thread-level parallelism "
+          "(paper Figs. 3-4): the short-vector reductions cannot use 8 "
+          "lanes, but 4 threads with replicated scalar units can.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build their
+editable wheel.  This shim lets ``pip install -e . --no-use-pep517`` (or
+``python setup.py develop``) perform a classic editable install instead.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

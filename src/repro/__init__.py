@@ -1,0 +1,19 @@
+"""repro -- reproduction of "Vector Lane Threading" (ICPP 2006).
+
+A cycle-level simulation study of VLT: running short-vector or scalar
+threads on the idle lanes of a multi-lane vector processor.  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+
+Subpackages
+-----------
+``repro.isa``        the X1-flavoured vector ISA (assembler + builder)
+``repro.functional`` architectural simulator producing dynamic traces
+``repro.timing``     cycle-level timing models (SU, VCL, lanes, caches)
+``repro.compiler``   loop-nest vectorizing compiler + outer-loop threading
+``repro.workloads``  the nine paper applications, self-checking
+``repro.area``       the Alpha-derived area model (Tables 1-2)
+``repro.harness``    experiment drivers for every figure and table
+"""
+
+__version__ = "1.0.0"

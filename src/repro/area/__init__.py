@@ -1,0 +1,7 @@
+"""Area model for VLT configurations (paper Section 4.2, Tables 1-2)."""
+
+from .model import (AreaModel, COMPONENT_AREAS, ComponentAreas,
+                    config_area_table, table1_rows, table2_rows)
+
+__all__ = ["AreaModel", "COMPONENT_AREAS", "ComponentAreas",
+           "config_area_table", "table1_rows", "table2_rows"]

@@ -1,0 +1,22 @@
+"""Mini vectorizing compiler: affine loop-nest IR -> VLT ISA programs.
+
+Substitutes for the Cray X1 production compilers the paper used
+(DESIGN.md section 2): automatic innermost-loop vectorization with
+strip-mining, a vector-length vs. stride interchange policy
+(Section 3.1 of the paper), and OpenMP-style outer-loop threading.
+"""
+
+from .codegen import (CodeGen, CompileOptions, RegisterPressureError,
+                      compile_kernel)
+from .ir import (Affine, Array, Assign, Bin, Cmp, Const, Expr, Kernel,
+                 LoadExpr, Loop, Reduce, Ref, Select, Sqrt, Var, fmax, fmin,
+                 sqrt)
+from .vectorizer import (VectorizationError, body_vectorizable,
+                         choose_vector_loop)
+
+__all__ = [
+    "CodeGen", "CompileOptions", "RegisterPressureError", "compile_kernel",
+    "Affine", "Array", "Assign", "Bin", "Cmp", "Const", "Expr", "Kernel",
+    "LoadExpr", "Loop", "Reduce", "Ref", "Select", "Sqrt", "Var", "fmax", "fmin",
+    "sqrt", "VectorizationError", "body_vectorizable", "choose_vector_loop",
+]

@@ -1,0 +1,716 @@
+"""Code generation: loop-nest IR -> VLT ISA programs.
+
+Emits strip-mined vector code for the loops selected by
+:mod:`repro.compiler.vectorizer`, scalar loops elsewhere, and optional
+OpenMP-style static chunking of outermost ``parallel`` loops across SPMD
+threads (with ``tid == 0`` guards plus barriers around the serial parts).
+
+Code-shape notes (these determine the scalar/vector instruction mix the
+timing study sees, so they mirror what a production vectorizer emits):
+
+* vector strip loops hoist loop-invariant scalar operands and use the
+  ``.vs`` instruction forms instead of splats wherever possible;
+* reductions accumulate into a vector register across strips and reduce
+  once at loop exit (plus a scalar combine with the memory target);
+* innermost scalar loops accumulate reductions in a register;
+* addresses of vector streams are maintained incrementally (one
+  multiply-add per stream per strip), not recomputed per element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..isa.registers import Reg, freg, sreg, vreg
+from .ir import (Affine, Assign, Bin, Const, Expr, Kernel, LoadExpr,
+                 Loop, Reduce, Ref, Select, Sqrt, Stmt, Var)
+from .vectorizer import VectorizationError, body_vectorizable, choose_vector_loop
+
+S0 = sreg(0)
+
+_VV_OPS = {"+": "vfadd.vv", "-": "vfsub.vv", "*": "vfmul.vv",
+           "/": "vfdiv.vv", "min": "vfmin.vv", "max": "vfmax.vv"}
+_VS_OPS = {"+": "vfadd.vs", "-": "vfsub.vs", "*": "vfmul.vs",
+           "/": "vfdiv.vs", "min": "vfmin.vs", "max": "vfmax.vs"}
+_SV_COMMUTES = {"+", "*", "min", "max"}
+_SCALAR_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv",
+               "min": "fmin", "max": "fmax"}
+_RED_VV = {"+": "vfadd.vv", "min": "vfmin.vv", "max": "vfmax.vv"}
+_RED_FOLD = {"+": "vfredsum", "min": "vfredmin", "max": "vfredmax"}
+_RED_COMBINE = {"+": "fadd", "min": "fmin", "max": "fmax"}
+_VCMP_VV = {"<": "vflt.vv", "<=": "vfle.vv", "==": "vfeq.vv"}
+_VCMP_VS = {"<": "vflt.vs", "<=": "vfle.vs", "==": "vfeq.vs"}
+_SCMP = {"<": "flt", "<=": "fle", "==": "feq"}
+
+
+class RegisterPressureError(Exception):
+    """The kernel needs more architectural registers than available."""
+
+
+def _contains_select(e: Expr) -> bool:
+    if isinstance(e, Select):
+        return True
+    if isinstance(e, Bin):
+        return _contains_select(e.a) or _contains_select(e.b)
+    if isinstance(e, Sqrt):
+        return _contains_select(e.a)
+    return False
+
+
+class _Pool:
+    """A simple stack allocator over one register class."""
+
+    def __init__(self, make, lo: int, hi: int, what: str):
+        self._free = [make(i) for i in range(hi, lo - 1, -1)]
+        self._what = what
+
+    def alloc(self) -> Reg:
+        if not self._free:
+            raise RegisterPressureError(f"out of {self._what} registers")
+        return self._free.pop()
+
+    def free(self, reg: Reg) -> None:
+        self._free.append(reg)
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for :func:`compile_kernel`."""
+
+    vectorize: bool = True
+    #: "maxvl" | "unitstride" | "innermost" (see vectorizer module)
+    policy: str = "maxvl"
+    #: Split outermost parallel loops across SPMD threads.
+    threads: bool = False
+    #: Unroll factor for vector strip loops: each loop iteration
+    #: processes up to ``unroll`` MVL-sized strips, amortising the
+    #: per-strip branch and pointer bookkeeping over long arrays.
+    #: ``setvl`` clamps naturally at the tail (a zero-length strip is a
+    #: correct no-op), so any array length remains correct.
+    unroll: int = 1
+    memory_kib: int = 1024
+
+    def __post_init__(self):
+        if self.unroll < 1:
+            raise ValueError("unroll factor must be >= 1")
+
+
+class CodeGen:
+    """Single-use code generator for one kernel."""
+
+    def __init__(self, kernel: Kernel, options: CompileOptions):
+        self.kernel = kernel
+        self.opts = options
+        self.b = ProgramBuilder(kernel.name, memory_kib=options.memory_kib)
+        # s30/s31 are reserved for tid/ntid under threading.
+        s_hi = 29 if options.threads else 31
+        self.spool = _Pool(sreg, 1, s_hi, "scalar")
+        self.fpool = _Pool(freg, 0, 31, "fp")
+        self.vpool = _Pool(vreg, 0, 31, "vector")
+        self.var_regs: Dict[Var, Reg] = {}
+        self.base_regs: Dict[str, Reg] = {}
+        self.tid_reg = sreg(30)
+        self.ntid_reg = sreg(31)
+        self.vector_loops: Set[int] = set()
+        #: vector stores issued since the last fence/barrier
+        self._pending_vstores = False
+
+    # -- entry point -----------------------------------------------------------
+
+    def compile(self) -> Program:
+        b = self.b
+        if self.opts.threads:
+            b.op("vltcfg", 0)
+            b.op("tid", self.tid_reg)
+            b.op("ntid", self.ntid_reg)
+        for arr in self.kernel.arrays():
+            if arr.init is not None:
+                b.data_f64(arr.name, arr.init.reshape(-1))
+            else:
+                b.data_f64(arr.name, arr.size)
+            base = self.spool.alloc()
+            self.base_regs[arr.name] = base
+            b.la(base, arr.name)
+
+        if self.opts.vectorize:
+            chosen = choose_vector_loop(self.kernel, self.opts.policy)
+            self.vector_loops = {id(l) for l in chosen}
+
+        if self.opts.threads:
+            self._gen_threaded_block(self.kernel.body)
+        else:
+            for stmt in self.kernel.body:
+                self._gen_stmt(stmt)
+        b.op("halt")
+        return b.build()
+
+    # -- SPMD threading structure ----------------------------------------------
+
+    def _contains_parallel(self, stmt: Stmt) -> bool:
+        if isinstance(stmt, Loop):
+            if stmt.parallel:
+                return True
+            return any(self._contains_parallel(s) for s in stmt.body)
+        return False
+
+    def _gen_threaded_block(self, stmts: Sequence[Stmt]) -> None:
+        """SPMD lowering of a statement sequence.
+
+        Parallel loops are chunked across threads and followed by a
+        barrier; serial loops that *contain* parallel loops execute their
+        control redundantly on every thread; runs of purely-serial
+        statements execute on thread 0 under a guard, followed by a
+        barrier so their results are visible to everyone.
+        """
+        b = self.b
+        serial_run: List[Stmt] = []
+
+        def flush() -> None:
+            if not serial_run:
+                return
+            skip = b.genlabel("serial")
+            b.op("bne", self.tid_reg, S0, skip)
+            for s in serial_run:
+                self._gen_stmt(s)
+            b.label(skip)
+            b.op("barrier")
+            self._pending_vstores = False
+            serial_run.clear()
+
+        for stmt in stmts:
+            if isinstance(stmt, Loop) and stmt.parallel:
+                flush()
+                self._gen_threaded_loop(stmt)
+                b.op("barrier")
+                self._pending_vstores = False  # barriers drain vector work
+            elif self._contains_parallel(stmt):
+                flush()
+                self._gen_redundant_loop(stmt)
+            else:
+                serial_run.append(stmt)
+        flush()
+
+    def _gen_redundant_loop(self, loop: Loop) -> None:
+        """Serial loop executed by every thread (control only); its body
+        is lowered with the threaded rules."""
+        b = self.b
+        var_reg = self.spool.alloc()
+        self.var_regs[loop.var] = var_reg
+        bound = self._eval_affine(loop.extent)
+        b.op("li", var_reg, 0)
+        head = b.genlabel("rloop")
+        exit_ = b.genlabel("endrloop")
+        b.op("bge", var_reg, bound, exit_)
+        b.label(head)
+        self._gen_threaded_block(loop.body)
+        b.op("addi", var_reg, var_reg, 1)
+        b.op("blt", var_reg, bound, head)
+        b.label(exit_)
+        self.spool.free(bound)
+        self.spool.free(var_reg)
+        del self.var_regs[loop.var]
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _eval_affine(self, aff: Union[int, Affine]) -> Reg:
+        """Materialise an affine expression of live loop vars (fresh sreg)."""
+        b = self.b
+        r = self.spool.alloc()
+        if isinstance(aff, int):
+            b.op("li", r, aff)
+            return r
+        b.op("li", r, aff.const)
+        for var, c in aff.coefs.items():
+            vr = self.var_regs[var]
+            if c == 1:
+                b.op("add", r, r, vr)
+            else:
+                t = self.spool.alloc()
+                b.op("muli", t, vr, c)
+                b.op("add", r, r, t)
+                self.spool.free(t)
+        return r
+
+    def _addr(self, ref: Ref, omit: Optional[Var] = None) -> Reg:
+        """Byte address of ``ref`` (with ``omit``'s contribution dropped)."""
+        b = self.b
+        flat = ref.flat_affine()
+        if omit is not None and flat.coef(omit):
+            flat = flat + Affine({omit: -flat.coef(omit)})
+        r = self._eval_affine(flat)
+        b.op("slli", r, r, 3)
+        b.op("add", r, r, self.base_regs[ref.array.name])
+        return r
+
+    # -- scalar expressions -------------------------------------------------------
+
+    def _eval_scalar(self, e: Expr) -> Reg:
+        b = self.b
+        if isinstance(e, Const):
+            f = self.fpool.alloc()
+            b.op("fli", f, e.value)
+            return f
+        if isinstance(e, LoadExpr):
+            a = self._addr(e.ref)
+            f = self.fpool.alloc()
+            b.op("fld", f, (0, a))
+            self.spool.free(a)
+            return f
+        if isinstance(e, Bin):
+            fa = self._eval_scalar(e.a)
+            fb = self._eval_scalar(e.b)
+            b.op(_SCALAR_OPS[e.op], fa, fa, fb)
+            self.fpool.free(fb)
+            return fa
+        if isinstance(e, Sqrt):
+            fa = self._eval_scalar(e.a)
+            b.op("fsqrt", fa, fa)
+            return fa
+        if isinstance(e, Select):
+            fa = self._eval_scalar(e.a)
+            fb = self._eval_scalar(e.b)
+            ca = self._eval_scalar(e.cond.a)
+            cb = self._eval_scalar(e.cond.b)
+            flag = self.spool.alloc()
+            b.op(_SCMP[e.cond.op], flag, ca, cb)
+            keep = b.genlabel("sel")
+            b.op("bne", flag, S0, keep)
+            b.op("fmv", fa, fb)
+            b.label(keep)
+            self.spool.free(flag)
+            self.fpool.free(cb)
+            self.fpool.free(ca)
+            self.fpool.free(fb)
+            return fa
+        raise VectorizationError(f"unsupported expression node {e!r}")
+
+    # -- statements ------------------------------------------------------------------
+
+    def _fence_if_needed(self) -> None:
+        """Scalar code is about to run: order it after any outstanding
+        vector stores with a single ``lsync``."""
+        if self._pending_vstores:
+            self.b.op("lsync")
+            self._pending_vstores = False
+
+    def _gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Loop):
+            if id(stmt) in self.vector_loops:
+                self._gen_vector_loop(stmt)
+            else:
+                self._gen_scalar_loop(stmt)
+        elif isinstance(stmt, Assign):
+            self._fence_if_needed()
+            f = self._eval_scalar(stmt.expr)
+            a = self._addr(stmt.ref)
+            self.b.op("fst", f, (0, a))
+            self.spool.free(a)
+            self.fpool.free(f)
+        elif isinstance(stmt, Reduce):
+            self._fence_if_needed()
+            a = self._addr(stmt.ref)
+            acc = self.fpool.alloc()
+            self.b.op("fld", acc, (0, a))
+            f = self._eval_scalar(stmt.expr)
+            self.b.op(_RED_COMBINE[stmt.op], acc, acc, f)
+            self.b.op("fst", acc, (0, a))
+            self.spool.free(a)
+            self.fpool.free(acc)
+            self.fpool.free(f)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown statement {stmt!r}")
+
+    # -- scalar loops ------------------------------------------------------------------
+
+    def _gen_scalar_loop(self, loop: Loop, start: Optional[Reg] = None,
+                         bound: Optional[Reg] = None) -> None:
+        """``for var in [start, bound)`` -- defaults to ``[0, extent)``."""
+        self._fence_if_needed()
+        b = self.b
+        var_reg = self.spool.alloc()
+        self.var_regs[loop.var] = var_reg
+        own_bound = bound is None
+        if own_bound:
+            bound = self._eval_affine(loop.extent)
+        if start is None:
+            b.op("li", var_reg, 0)
+        else:
+            b.mv(var_reg, start)
+
+        head = b.genlabel("loop")
+        exit_ = b.genlabel("endloop")
+        b.op("bge", var_reg, bound, exit_)
+
+        # Register-accumulate reductions whose target is invariant here
+        # when this is an innermost loop (classic scalar optimisation).
+        innermost = not any(isinstance(s, Loop) for s in loop.body)
+        hoisted: Dict[int, Tuple[Reg, Reduce]] = {}
+        if innermost:
+            for s in loop.body:
+                if (isinstance(s, Reduce)
+                        and s.ref.stride_wrt(loop.var) == 0
+                        and id(s) not in hoisted):
+                    a = self._addr(s.ref)
+                    acc = self.fpool.alloc()
+                    b.op("fld", acc, (0, a))
+                    self.spool.free(a)
+                    hoisted[id(s)] = (acc, s)
+
+        b.label(head)
+        for s in loop.body:
+            if id(s) in hoisted:
+                acc, red = hoisted[id(s)]
+                f = self._eval_scalar(red.expr)
+                b.op(_RED_COMBINE[red.op], acc, acc, f)
+                self.fpool.free(f)
+            else:
+                self._gen_stmt(s)
+        b.op("addi", var_reg, var_reg, 1)
+        b.op("blt", var_reg, bound, head)
+        b.label(exit_)
+
+        for acc, red in hoisted.values():
+            a = self._addr(red.ref)
+            b.op("fst", acc, (0, a))
+            self.spool.free(a)
+            self.fpool.free(acc)
+        if own_bound:
+            self.spool.free(bound)
+        self.spool.free(var_reg)
+        del self.var_regs[loop.var]
+
+    # -- vector loops -------------------------------------------------------------------
+
+    def _gen_vector_loop(self, loop: Loop, start: Optional[Reg] = None,
+                         count: Optional[Reg] = None) -> None:
+        """Strip-mined vector execution of an innermost loop."""
+        reason = body_vectorizable(loop)
+        if reason is not None:
+            raise VectorizationError(
+                f"loop {loop.var.name} in {self.kernel.name}: {reason}")
+        b = self.b
+        var = loop.var
+
+        own_count = count is None
+        if own_count:
+            count = self._eval_affine(loop.extent)
+
+        exit_ = b.genlabel("vexit")
+        b.op("bge", S0, count, exit_)
+
+        # Address registers for every vector stream, advanced per strip.
+        # Streams are deduplicated by (array, flattened affine) so repeated
+        # references to the same element expression share one address reg.
+        streams: List[Tuple[Reg, int]] = []   # (addr reg, byte stride)
+        stream_of: Dict[Tuple, int] = {}      # stream key -> index
+
+        def skey(ref: Ref) -> Tuple:
+            flat = ref.flat_affine()
+            coefs = tuple(sorted((id(v), c) for v, c in flat.coefs.items()))
+            return (ref.array.name, coefs, flat.const)
+
+        def open_stream(ref: Ref) -> int:
+            key = skey(ref)
+            if key in stream_of:
+                return stream_of[key]
+            a = self._addr(ref, omit=var)
+            stride_b = ref.stride_wrt(var) * 8
+            if start is not None:
+                t = self.spool.alloc()
+                b.op("muli", t, start, stride_b)
+                b.op("add", a, a, t)
+                self.spool.free(t)
+            streams.append((a, stride_b))
+            stream_of[key] = len(streams) - 1
+            return len(streams) - 1
+
+        def collect(e: Expr) -> None:
+            if isinstance(e, LoadExpr):
+                if e.ref.stride_wrt(var) != 0:
+                    open_stream(e.ref)
+            elif isinstance(e, Bin):
+                collect(e.a)
+                collect(e.b)
+            elif isinstance(e, Sqrt):
+                collect(e.a)
+            elif isinstance(e, Select):
+                collect(e.a)
+                collect(e.b)
+                collect(e.cond.a)
+                collect(e.cond.b)
+
+        self._skey = skey
+        reductions: List[Tuple[Reduce, Reg]] = []
+        for s in loop.body:
+            collect(s.expr)
+            if s.ref.stride_wrt(var) != 0:
+                open_stream(s.ref)
+            elif isinstance(s, Reduce):
+                pass  # true reduction; handled below
+            else:  # pragma: no cover - rejected by body_vectorizable
+                raise VectorizationError("invariant assignment target")
+
+        # vl0 = min(count, MVL): initialises reduction registers and is the
+        # reduction width at loop exit.
+        vl0 = self.spool.alloc()
+        b.op("setvl", vl0, count)
+        for s in loop.body:
+            if isinstance(s, Reduce) and s.ref.stride_wrt(var) == 0:
+                vacc = self.vpool.alloc()
+                ident = {"+": 0.0, "min": float("inf"),
+                         "max": float("-inf")}[s.op]
+                fident = self.fpool.alloc()
+                b.op("fli", fident, ident)
+                b.op("vfmv.s", vacc, fident)
+                self.fpool.free(fident)
+                reductions.append((s, vacc))
+
+        rem = self.spool.alloc()
+        b.mv(rem, count)
+        vlr = self.spool.alloc()
+        head = b.genlabel("vstrip")
+        b.label(head)
+        for _unrolled in range(self.opts.unroll):
+            self._gen_strip_body(loop, var, streams, stream_of, reductions,
+                                 rem, vlr)
+        b.op("bne", rem, S0, head)
+
+        # Reduction epilogue at width vl0.
+        if reductions:
+            t = self.spool.alloc()
+            b.op("setvl", t, vl0)
+            self.spool.free(t)
+            for red, vacc in reductions:
+                fres = self.fpool.alloc()
+                b.op(_RED_FOLD[red.op], fres, vacc)
+                a = self._addr(red.ref)
+                finit = self.fpool.alloc()
+                b.op("fld", finit, (0, a))
+                b.op(_RED_COMBINE[red.op], finit, finit, fres)
+                b.op("fst", finit, (0, a))
+                self.spool.free(a)
+                self.fpool.free(finit)
+                self.fpool.free(fres)
+                self.vpool.free(vacc)
+
+        # remember that vector stores are in flight; a fence is emitted
+        # lazily before the next *scalar* statement that could read them
+        # ("compiler-generated memory barriers", paper Section 2)
+        if any(isinstance(s, (Assign, Reduce))
+               and s.ref.stride_wrt(var) != 0 for s in loop.body):
+            self._pending_vstores = True
+
+        b.label(exit_)
+        for a, _ in streams:
+            self.spool.free(a)
+        self.spool.free(vlr)
+        self.spool.free(rem)
+        self.spool.free(vl0)
+        if own_count:
+            self.spool.free(count)
+
+    def _gen_strip_body(self, loop: Loop, var: Var, streams, stream_of,
+                        reductions, rem: Reg, vlr: Reg) -> None:
+        """One strip: setvl, the vectorized body, stream advance."""
+        b = self.b
+        b.op("setvl", vlr, rem)
+
+        # Body: loads, arithmetic, stores.
+        red_idx = 0
+        for s in loop.body:
+            vexpr = self._eval_vector(s.expr, var, streams, stream_of)
+            if isinstance(s, Assign) or s.ref.stride_wrt(var) != 0:
+                vres = self._to_vector(vexpr)
+                if isinstance(s, Reduce):
+                    # element-wise accumulate: target op= expr
+                    vtgt = self._load_stream(s.ref, streams, stream_of)
+                    b.op(_RED_VV[s.op], vtgt, vtgt, vres)
+                    self._free_vexpr(("v", vres))
+                    vres = vtgt
+                self._store_stream(s.ref, vres, streams, stream_of)
+                self._free_vexpr(("v", vres))
+            else:
+                red, vacc = reductions[red_idx]
+                red_idx += 1
+                if vexpr[0] == "s":
+                    b.op(_VS_OPS[red.op], vacc, vacc, vexpr[1])
+                else:
+                    b.op(_RED_VV[red.op], vacc, vacc, vexpr[1])
+                self._free_vexpr(vexpr)
+
+        # Advance streams and consume the strip.
+        for a, stride_b in streams:
+            t = self.spool.alloc()
+            if stride_b == 8:
+                b.op("slli", t, vlr, 3)
+            else:
+                b.op("muli", t, vlr, stride_b)
+            b.op("add", a, a, t)
+            self.spool.free(t)
+        b.op("sub", rem, rem, vlr)
+
+    # -- vector expression helpers -----------------------------------------------------
+
+    def _load_stream(self, ref: Ref, streams, stream_of) -> Reg:
+        """Vector-load one stream reference into a fresh register."""
+        b = self.b
+        a, stride_b = streams[stream_of[self._skey(ref)]]
+        v = self.vpool.alloc()
+        if stride_b == 8:
+            b.op("vld", v, (0, a))
+        else:
+            sr = self.spool.alloc()
+            b.op("li", sr, stride_b)
+            b.op("vlds", v, (0, a), sr)
+            self.spool.free(sr)
+        return v
+
+    def _store_stream(self, ref: Ref, v: Reg, streams, stream_of) -> None:
+        b = self.b
+        a, stride_b = streams[stream_of[self._skey(ref)]]
+        if stride_b == 8:
+            b.op("vst", v, (0, a))
+        else:
+            sr = self.spool.alloc()
+            b.op("li", sr, stride_b)
+            b.op("vsts", v, (0, a), sr)
+            self.spool.free(sr)
+
+    def _invariant(self, e: Expr, var: Var) -> bool:
+        if isinstance(e, LoadExpr):
+            return e.ref.stride_wrt(var) == 0
+        if isinstance(e, Bin):
+            return self._invariant(e.a, var) and self._invariant(e.b, var)
+        if isinstance(e, Sqrt):
+            return self._invariant(e.a, var)
+        if isinstance(e, Select):
+            return (self._invariant(e.a, var) and self._invariant(e.b, var)
+                    and self._invariant(e.cond.a, var)
+                    and self._invariant(e.cond.b, var))
+        return True  # Const
+
+    def _eval_vector(self, e: Expr, var: Var, streams,
+                     stream_of) -> Tuple[str, Reg]:
+        """Evaluate in vector context -> ("v", vreg) or ("s", freg)."""
+        b = self.b
+        if self._invariant(e, var):
+            return ("s", self._eval_scalar(e))
+        if isinstance(e, LoadExpr):
+            return ("v", self._load_stream(e.ref, streams, stream_of))
+        if isinstance(e, Bin):
+            a = self._eval_vector(e.a, var, streams, stream_of)
+            c = self._eval_vector(e.b, var, streams, stream_of)
+            if a[0] == "v" and c[0] == "v":
+                b.op(_VV_OPS[e.op], a[1], a[1], c[1])
+                self.vpool.free(c[1])
+                return a
+            if a[0] == "v":  # vector op scalar
+                b.op(_VS_OPS[e.op], a[1], a[1], c[1])
+                self.fpool.free(c[1])
+                return a
+            # scalar op vector
+            if e.op in _SV_COMMUTES:
+                b.op(_VS_OPS[e.op], c[1], c[1], a[1])
+                self.fpool.free(a[1])
+                return c
+            if e.op == "-":
+                b.op("vfrsub.vs", c[1], c[1], a[1])
+                self.fpool.free(a[1])
+                return c
+            # scalar / vector: splat then divide
+            v = self.vpool.alloc()
+            b.op("vfmv.s", v, a[1])
+            b.op("vfdiv.vv", v, v, c[1])
+            self.fpool.free(a[1])
+            self.vpool.free(c[1])
+            return ("v", v)
+        if isinstance(e, Sqrt):
+            a = self._eval_vector(e.a, var, streams, stream_of)
+            v = self._to_vector(a)
+            b.op("vfsqrt.v", v, v)
+            return ("v", v)
+        if isinstance(e, Select):
+            for sub in (e.a, e.b, e.cond.a, e.cond.b):
+                if _contains_select(sub):
+                    raise VectorizationError(
+                        "nested Select is not supported (single mask "
+                        "register)")
+            va = self._to_vector(
+                self._eval_vector(e.a, var, streams, stream_of))
+            vb = self._eval_vector(e.b, var, streams, stream_of)
+            # the compare writes vm; nothing below may clobber it before
+            # the merge, so it is evaluated last
+            ca = self._eval_vector(e.cond.a, var, streams, stream_of)
+            cb = self._eval_vector(e.cond.b, var, streams, stream_of)
+            if ca[0] == "s":
+                ca = ("v", self._to_vector(ca))
+            if cb[0] == "v":
+                b.op(_VCMP_VV[e.cond.op], ca[1], cb[1])
+                self.vpool.free(cb[1])
+            else:
+                b.op(_VCMP_VS[e.cond.op], ca[1], cb[1])
+                self.fpool.free(cb[1])
+            self.vpool.free(ca[1])
+            if vb[0] == "s":
+                b.op("vfmerge.vs", va, va, vb[1])
+                self.fpool.free(vb[1])
+            else:
+                b.op("vmerge.vv", va, va, vb[1])
+                self.vpool.free(vb[1])
+            return ("v", va)
+        raise VectorizationError(f"unsupported expression node {e!r}")
+
+    def _to_vector(self, x: Tuple[str, Reg]) -> Reg:
+        if x[0] == "v":
+            return x[1]
+        v = self.vpool.alloc()
+        self.b.op("vfmv.s", v, x[1])
+        self.fpool.free(x[1])
+        return v
+
+    def _free_vexpr(self, x: Tuple[str, Reg]) -> None:
+        if x[0] == "v":
+            self.vpool.free(x[1])
+        else:
+            self.fpool.free(x[1])
+
+    # -- threading --------------------------------------------------------------------
+
+    def _gen_threaded_loop(self, loop: Loop) -> None:
+        """Static chunking of a parallel loop across SPMD threads."""
+        b = self.b
+        ereg = self._eval_affine(loop.extent)
+        chunk = self.spool.alloc()
+        b.op("addi", chunk, ereg, 0)
+        t = self.spool.alloc()
+        b.op("addi", t, self.ntid_reg, -1)
+        b.op("add", chunk, chunk, t)
+        b.op("div", chunk, chunk, self.ntid_reg)
+        lo = self.spool.alloc()
+        b.op("mul", lo, self.tid_reg, chunk)
+        hi = self.spool.alloc()
+        b.op("add", hi, lo, chunk)
+        b.op("min", hi, hi, ereg)
+        b.op("min", lo, lo, ereg)
+        self.spool.free(t)
+        self.spool.free(chunk)
+
+        if id(loop) in self.vector_loops:
+            count = self.spool.alloc()
+            b.op("sub", count, hi, lo)
+            self._gen_vector_loop(loop, start=lo, count=count)
+            self.spool.free(count)
+        else:
+            self._gen_scalar_loop(loop, start=lo, bound=hi)
+        self.spool.free(lo)
+        self.spool.free(hi)
+        self.spool.free(ereg)
+
+
+def compile_kernel(kernel: Kernel,
+                   options: Optional[CompileOptions] = None) -> Program:
+    """Compile a loop-nest kernel to a finalized VLT ISA program."""
+    return CodeGen(kernel, options or CompileOptions()).compile()

@@ -1,0 +1,424 @@
+"""Loop-nest IR for the mini vectorizing compiler.
+
+The paper's workloads are compiled by the Cray X1 production compilers
+with automatic vectorization; our substitute consumes a small affine
+loop-nest IR and emits VLT ISA assembly.  The IR covers what the study's
+kernels need: perfect or imperfect nests of counted loops over
+multi-dimensional arrays with affine subscripts, elementwise arithmetic,
+and sum/min/max reductions.
+
+Construction is ergonomic via operator overloading::
+
+    i, j, k = Var("i"), Var("j"), Var("k")
+    A = Array("A", (n, n)); B = Array("B", (n, n)); C = Array("C", (n, n))
+    kern = Kernel("mxm", [
+        Loop(i, n, [
+            Loop(j, n, [
+                Loop(k, n, [Reduce("+", C[i, j], A[i, k] * B[k, j])]),
+            ], parallel=True),
+        ], parallel=True),
+    ])
+
+``parallel=True`` asserts that the loop's iterations are independent
+(apart from recognised reductions) -- the "manual thread identification"
+of the paper's Section 6, made machine-readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+class Var:
+    """A loop induction variable (symbolic)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+    # Arithmetic on Vars builds Affine index expressions.
+    def __add__(self, other):
+        return Affine.of(self) + other
+
+    def __radd__(self, other):
+        return Affine.of(self) + other
+
+    def __sub__(self, other):
+        return Affine.of(self) - other
+
+    def __rsub__(self, other):
+        return (-Affine.of(self)) + other
+
+    def __mul__(self, other):
+        return Affine.of(self) * other
+
+    def __rmul__(self, other):
+        return Affine.of(self) * other
+
+    def __neg__(self):
+        return Affine.of(self) * -1
+
+
+class Affine:
+    """An affine combination of loop variables: sum(coef*var) + const."""
+
+    __slots__ = ("coefs", "const")
+
+    def __init__(self, coefs: Optional[Dict[Var, int]] = None,
+                 const: int = 0):
+        self.coefs = {v: c for v, c in (coefs or {}).items() if c != 0}
+        self.const = const
+
+    @staticmethod
+    def of(x: Union["Affine", Var, int]) -> "Affine":
+        if isinstance(x, Affine):
+            return x
+        if isinstance(x, Var):
+            return Affine({x: 1})
+        if isinstance(x, (int, np.integer)):
+            return Affine(const=int(x))
+        raise TypeError(f"cannot treat {x!r} as an affine index")
+
+    def coef(self, var: Var) -> int:
+        return self.coefs.get(var, 0)
+
+    def __add__(self, other):
+        o = Affine.of(other)
+        coefs = dict(self.coefs)
+        for v, c in o.coefs.items():
+            coefs[v] = coefs.get(v, 0) + c
+        return Affine(coefs, self.const + o.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self + (Affine.of(other) * -1)
+
+    def __mul__(self, k):
+        if not isinstance(k, (int, np.integer)):
+            raise TypeError("affine indices may only be scaled by integers")
+        return Affine({v: c * int(k) for v, c in self.coefs.items()},
+                      self.const * int(k))
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1
+
+    @property
+    def is_const(self) -> bool:
+        return not self.coefs
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v.name}" for v, c in self.coefs.items()]
+        parts.append(str(self.const))
+        return "+".join(parts)
+
+
+IndexLike = Union[Affine, Var, int]
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Base class for arithmetic expressions (operator-overloaded)."""
+
+    def _wrap(self, other) -> "Expr":
+        if isinstance(other, Expr):
+            return other
+        if isinstance(other, (int, float, np.integer, np.floating)):
+            return Const(float(other))
+        if isinstance(other, Ref):
+            return LoadExpr(other)
+        raise TypeError(f"cannot use {other!r} in an expression")
+
+    def __add__(self, other):
+        return Bin("+", self, self._wrap(other))
+
+    def __radd__(self, other):
+        return Bin("+", self._wrap(other), self)
+
+    def __sub__(self, other):
+        return Bin("-", self, self._wrap(other))
+
+    def __rsub__(self, other):
+        return Bin("-", self._wrap(other), self)
+
+    def __mul__(self, other):
+        return Bin("*", self, self._wrap(other))
+
+    def __rmul__(self, other):
+        return Bin("*", self._wrap(other), self)
+
+    def __truediv__(self, other):
+        return Bin("/", self, self._wrap(other))
+
+    def __rtruediv__(self, other):
+        return Bin("/", self._wrap(other), self)
+
+    def __neg__(self):
+        return Bin("-", Const(0.0), self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: float
+
+
+@dataclass(frozen=True)
+class Bin(Expr):
+    op: str  # "+", "-", "*", "/", "min", "max"
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Sqrt(Expr):
+    a: Expr
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """A comparison used as a :class:`Select` condition (not an Expr:
+    it produces a mask/boolean, not a value)."""
+
+    op: str  # "<", "<=", "=="
+    a: Expr
+    b: Expr
+
+    def __post_init__(self):
+        if self.op not in ("<", "<=", "=="):
+            raise ValueError(f"unsupported comparison {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """``cond ? a : b`` -- compiled to masked/merge execution on the
+    vector side and a compare-and-branch on the scalar side.
+
+    Nesting Selects is not supported (there is a single architectural
+    mask register).
+    """
+
+    cond: Cmp
+    a: Expr
+    b: Expr
+
+
+class LoadExpr(Expr):
+    """An array element read, as an expression leaf."""
+
+    __slots__ = ("ref",)
+
+    def __init__(self, ref: "Ref"):
+        self.ref = ref
+
+
+def fmin(a, b) -> Bin:
+    e = Expr()
+    return Bin("min", e._wrap(a), e._wrap(b))
+
+
+def fmax(a, b) -> Bin:
+    e = Expr()
+    return Bin("max", e._wrap(a), e._wrap(b))
+
+
+def sqrt(a) -> Sqrt:
+    return Sqrt(Expr()._wrap(a))
+
+
+# --------------------------------------------------------------------------
+# Arrays and references
+# --------------------------------------------------------------------------
+
+class Array:
+    """A logical multi-dimensional f64 array, row-major."""
+
+    def __init__(self, name: str, shape: Sequence[int],
+                 init: Optional[np.ndarray] = None):
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        if init is not None:
+            init = np.asarray(init, dtype=np.float64)
+            if init.shape != self.shape:
+                raise ValueError(
+                    f"array {name!r}: init shape {init.shape} != {self.shape}")
+        self.init = init
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def row_major_strides(self) -> Tuple[int, ...]:
+        """Element strides per dimension (row-major)."""
+        strides = [1] * len(self.shape)
+        for d in range(len(self.shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        return tuple(strides)
+
+    def __getitem__(self, idx) -> "Ref":
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        if len(idx) != len(self.shape):
+            raise IndexError(
+                f"array {self.name!r} has {len(self.shape)} dims, "
+                f"got {len(idx)} subscripts")
+        return Ref(self, tuple(Affine.of(x) for x in idx))
+
+    def __repr__(self) -> str:
+        return f"Array({self.name}, {self.shape})"
+
+
+class Ref:
+    """An array element reference with affine subscripts."""
+
+    __slots__ = ("array", "idx")
+
+    def __init__(self, array: Array, idx: Tuple[Affine, ...]):
+        self.array = array
+        self.idx = idx
+
+    def flat_affine(self) -> Affine:
+        """Flattened element index as one affine expression."""
+        strides = self.array.row_major_strides()
+        acc = Affine()
+        for a, s in zip(self.idx, strides):
+            acc = acc + a * s
+        return acc
+
+    def stride_wrt(self, var: Var) -> int:
+        """Element stride of this reference w.r.t. a loop variable."""
+        return self.flat_affine().coef(var)
+
+    # Refs promote to expressions on arithmetic.
+    def _expr(self) -> LoadExpr:
+        return LoadExpr(self)
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    def __radd__(self, other):
+        return other + self._expr()
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return other - self._expr()
+
+    def __mul__(self, other):
+        return self._expr() * other
+
+    def __rmul__(self, other):
+        return other * self._expr()
+
+    def __truediv__(self, other):
+        return self._expr() / other
+
+    def __rtruediv__(self, other):
+        return other / self._expr()
+
+    def __neg__(self):
+        return -self._expr()
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Assign:
+    """``ref = expr``; the target must be indexed by the enclosing loops."""
+
+    ref: Ref
+    expr: Expr
+
+    def __post_init__(self):
+        if isinstance(self.expr, Ref):
+            self.expr = LoadExpr(self.expr)
+        if isinstance(self.expr, (int, float)):
+            self.expr = Const(float(self.expr))
+
+
+@dataclass
+class Reduce:
+    """``ref op= expr`` -- a recognised reduction (op in "+", "min", "max")."""
+
+    op: str
+    ref: Ref
+    expr: Expr
+
+    def __post_init__(self):
+        if self.op not in ("+", "min", "max"):
+            raise ValueError(f"unsupported reduction op {self.op!r}")
+        if isinstance(self.expr, Ref):
+            self.expr = LoadExpr(self.expr)
+
+
+@dataclass
+class Loop:
+    """A counted loop ``for var in range(extent)``.
+
+    ``extent`` may be a static int or an affine function of outer loop
+    variables (triangular nests).  ``parallel=True`` asserts independent
+    iterations, enabling vectorization of this loop and outer-loop
+    threading.
+    """
+
+    var: Var
+    extent: Union[int, Affine]
+    body: List[Union["Loop", Assign, Reduce]]
+    parallel: bool = False
+
+
+Stmt = Union[Loop, Assign, Reduce]
+
+
+@dataclass
+class Kernel:
+    """A named kernel: arrays + a loop-nest body."""
+
+    name: str
+    body: List[Stmt]
+
+    def arrays(self) -> List[Array]:
+        """All arrays referenced, in first-appearance order."""
+        seen: Dict[str, Array] = {}
+
+        def walk_expr(e: Expr) -> None:
+            if isinstance(e, LoadExpr):
+                seen.setdefault(e.ref.array.name, e.ref.array)
+            elif isinstance(e, Bin):
+                walk_expr(e.a)
+                walk_expr(e.b)
+            elif isinstance(e, Sqrt):
+                walk_expr(e.a)
+            elif isinstance(e, Select):
+                walk_expr(e.a)
+                walk_expr(e.b)
+                walk_expr(e.cond.a)
+                walk_expr(e.cond.b)
+
+        def walk(stmts: Sequence[Stmt]) -> None:
+            for s in stmts:
+                if isinstance(s, Loop):
+                    walk(s.body)
+                else:
+                    seen.setdefault(s.ref.array.name, s.ref.array)
+                    walk_expr(s.expr)
+
+        walk(self.body)
+        return list(seen.values())

@@ -1,0 +1,192 @@
+"""Vector-loop selection: legality analysis and the VL-vs-stride policy.
+
+A loop is *vectorizable* when it is innermost (its body is straight-line
+assignments/reductions), its iterations are independent -- asserted by
+``parallel=True`` or implied by a body consisting solely of recognised
+reductions -- and every assignment's target actually varies with the
+loop (a loop-invariant assignment target is an output dependence).
+
+Section 3.1 of the paper describes the vector-length vs. stride
+trade-off: within a nest one loop may offer long vectors and another
+unit-stride accesses.  :func:`choose_vector_loop` implements both
+policies over perfectly-nested loop pairs (via interchange):
+
+* ``"maxvl"``      -- maximise ``min(MVL, extent)``; tie-break on stride.
+* ``"unitstride"`` -- prefer the loop with the most unit-stride
+  references; tie-break on extent.
+* ``"innermost"``  -- no interchange; vectorize the innermost loop if legal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa.registers import MVL
+from .ir import (Assign, Bin, Expr, Kernel, LoadExpr, Loop, Reduce, Select,
+                 Sqrt, Stmt, Var)
+
+
+class VectorizationError(Exception):
+    """The requested loop cannot be vectorized (with the reason)."""
+
+
+def _expr_supported(e: Expr) -> bool:
+    if isinstance(e, LoadExpr):
+        return True
+    if isinstance(e, Bin):
+        return _expr_supported(e.a) and _expr_supported(e.b)
+    if isinstance(e, Sqrt):
+        return _expr_supported(e.a)
+    if isinstance(e, Select):
+        return all(_expr_supported(x)
+                   for x in (e.a, e.b, e.cond.a, e.cond.b))
+    return type(e).__name__ == "Const"
+
+
+def is_innermost(loop: Loop) -> bool:
+    return not any(isinstance(s, Loop) for s in loop.body)
+
+
+def body_vectorizable(loop: Loop) -> Optional[str]:
+    """None if ``loop`` can be vectorized, else a reason string."""
+    if not is_innermost(loop):
+        return "not innermost"
+    pure_reduction = True
+    for s in loop.body:
+        if isinstance(s, Assign):
+            pure_reduction = False
+            if s.ref.stride_wrt(loop.var) == 0:
+                return (f"assignment target {s.ref.array.name} is invariant "
+                        f"in loop {loop.var.name} (output dependence)")
+            if not _expr_supported(s.expr):
+                return "unsupported expression node"
+        elif isinstance(s, Reduce):
+            if not _expr_supported(s.expr):
+                return "unsupported expression node"
+        else:  # pragma: no cover - Loop excluded by is_innermost
+            return "nested statement"
+    if not loop.parallel and not pure_reduction:
+        return (f"loop {loop.var.name} not marked parallel and not a pure "
+                f"reduction")
+    return None
+
+
+def _static_extent(loop: Loop) -> Optional[int]:
+    return loop.extent if isinstance(loop.extent, int) else None
+
+
+def _stride_score(loop: Loop) -> Tuple[int, int]:
+    """(#unit-stride refs, -sum of |stride|) over the body's references."""
+    unit = 0
+    total = 0
+
+    def visit_ref(ref) -> None:
+        nonlocal unit, total
+        s = ref.stride_wrt(loop.var)
+        if abs(s) == 1:
+            unit += 1
+        total += abs(s)
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, LoadExpr):
+            visit_ref(e.ref)
+        elif isinstance(e, Bin):
+            walk(e.a)
+            walk(e.b)
+        elif isinstance(e, Sqrt):
+            walk(e.a)
+
+    for s in loop.body:
+        visit_ref(s.ref)
+        walk(s.expr)
+    return unit, -total
+
+
+def _interchange(parent: Loop, child: Loop) -> None:
+    """Swap the induction roles of a perfectly-nested parallel pair."""
+    parent.var, child.var = child.var, parent.var
+    parent.extent, child.extent = child.extent, parent.extent
+    parent.parallel, child.parallel = child.parallel, parent.parallel
+
+
+def _can_interchange(parent: Loop, child: Loop) -> bool:
+    if parent.body != [child]:
+        return False
+    if not (parent.parallel and child.parallel):
+        return False
+    # Extents must not reference each other's induction variables.
+    for ext, other in ((parent.extent, child.var), (child.extent, parent.var)):
+        if not isinstance(ext, int) and ext.coef(other) != 0:
+            return False
+    return True
+
+
+def choose_vector_loop(kernel: Kernel, policy: str = "maxvl") -> List[Loop]:
+    """Annotate the kernel for vectorization; returns the chosen loops.
+
+    Walks every loop nest, optionally interchanging perfectly-nested
+    parallel pairs according to ``policy``, and returns the list of
+    innermost loops that will be vectorized (the code generator
+    re-checks legality with :func:`body_vectorizable`).
+    """
+    if policy not in ("maxvl", "unitstride", "innermost"):
+        raise ValueError(f"unknown vectorization policy {policy!r}")
+    chosen: List[Loop] = []
+
+    def visit(loop: Loop, parent: Optional[Loop]) -> None:
+        inner = [s for s in loop.body if isinstance(s, Loop)]
+        if inner:
+            for sub in inner:
+                visit(sub, loop)
+            return
+        if body_vectorizable(loop) is not None:
+            return
+        if (policy != "innermost" and parent is not None
+                and _can_interchange(parent, loop)
+                and body_vectorizable_after_swap(parent, loop)):
+            pe, ce = _static_extent(parent), _static_extent(loop)
+            if pe is not None and ce is not None:
+                if policy == "maxvl":
+                    want_swap = min(MVL, pe) > min(MVL, ce) or (
+                        min(MVL, pe) == min(MVL, ce)
+                        and _parent_stride_better(parent, loop))
+                else:  # unitstride
+                    want_swap = _parent_stride_better(parent, loop) or (
+                        _stride_tie(parent, loop) and min(MVL, pe) > min(MVL, ce))
+                if want_swap:
+                    _interchange(parent, loop)
+        chosen.append(loop)
+
+    def _parent_stride_better(parent: Loop, loop: Loop) -> bool:
+        # Compare stride scores *as if* each were the vector loop.
+        pu, pt = _stride_score_for_var(loop, parent.var)
+        cu, ct = _stride_score_for_var(loop, loop.var)
+        return (pu, pt) > (cu, ct)
+
+    def _stride_tie(parent: Loop, loop: Loop) -> bool:
+        return (_stride_score_for_var(loop, parent.var)
+                == _stride_score_for_var(loop, loop.var))
+
+    for stmt in kernel.body:
+        if isinstance(stmt, Loop):
+            visit(stmt, None)
+    return chosen
+
+
+def _stride_score_for_var(loop: Loop, var: Var) -> Tuple[int, int]:
+    """Stride score of ``loop``'s body with respect to ``var``."""
+    probe = Loop(var, 1, loop.body, parallel=True)
+    return _stride_score(probe)
+
+
+def body_vectorizable_after_swap(parent: Loop, child: Loop) -> bool:
+    """Would the child body still vectorize along the parent's variable?
+
+    The swap only changes which variable is innermost; assignments whose
+    targets are invariant in the *parent* variable would become output
+    dependences, so reject those.
+    """
+    for s in child.body:
+        if isinstance(s, Assign) and s.ref.stride_wrt(parent.var) == 0:
+            return False
+    return True

@@ -1,0 +1,12 @@
+"""Functional (architectural) simulation: memory, state, interpreter, traces."""
+
+from .executor import ExecutionError, Executor, run_program
+from .memory import Memory, MemoryFault, MisalignedAccess
+from .state import ThreadState
+from .trace import DynOp, ProgramTrace, ThreadTrace
+
+__all__ = [
+    "ExecutionError", "Executor", "run_program",
+    "Memory", "MemoryFault", "MisalignedAccess",
+    "ThreadState", "DynOp", "ProgramTrace", "ThreadTrace",
+]

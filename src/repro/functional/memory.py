@@ -1,0 +1,97 @@
+"""Byte-addressable simulated memory, NumPy-backed.
+
+All architectural accesses are 64-bit and must be 8-byte aligned (the
+workload generators allocate aligned arrays; misalignment indicates a
+code-generation bug, so it raises).  The backing store is a single
+``uint8`` buffer with ``int64``/``float64`` views, which makes vector
+unit-stride/strided/indexed accesses single NumPy fancy-indexing
+operations -- the functional simulator's fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MisalignedAccess(Exception):
+    """A 64-bit access to a non-8-byte-aligned address."""
+
+
+class MemoryFault(Exception):
+    """An access outside the program's data image."""
+
+
+class Memory:
+    """Flat simulated memory of a fixed byte size."""
+
+    __slots__ = ("nbytes", "u8", "i64", "f64")
+
+    def __init__(self, image: np.ndarray):
+        if image.dtype != np.uint8:
+            raise TypeError("memory image must be uint8")
+        if image.nbytes % 8:
+            raise ValueError("memory size must be a multiple of 8 bytes")
+        self.nbytes = image.nbytes
+        self.u8 = image
+        self.i64 = image.view(np.int64)
+        self.f64 = image.view(np.float64)
+
+    # -- scalar -------------------------------------------------------------
+
+    def _index(self, addr: int) -> int:
+        if addr & 7:
+            raise MisalignedAccess(f"address {addr:#x} not 8-byte aligned")
+        if not 0 <= addr < self.nbytes:
+            raise MemoryFault(f"address {addr:#x} outside [0, {self.nbytes:#x})")
+        return addr >> 3
+
+    def load_i64(self, addr: int) -> int:
+        return int(self.i64[self._index(addr)])
+
+    def store_i64(self, addr: int, value: int) -> None:
+        value &= 0xFFFFFFFFFFFFFFFF
+        if value >= 0x8000000000000000:
+            value -= 0x10000000000000000
+        self.i64[self._index(addr)] = value
+
+    def load_f64(self, addr: int) -> float:
+        return float(self.f64[self._index(addr)])
+
+    def store_f64(self, addr: int, value: float) -> None:
+        self.f64[self._index(addr)] = value
+
+    # -- vector -------------------------------------------------------------
+
+    def _vindex(self, addrs: np.ndarray) -> np.ndarray:
+        if addrs.size and (addrs & 7).any():
+            bad = int(addrs[(addrs & 7).nonzero()[0][0]])
+            raise MisalignedAccess(f"vector address {bad:#x} not aligned")
+        if addrs.size and (int(addrs.min()) < 0
+                           or int(addrs.max()) >= self.nbytes):
+            raise MemoryFault("vector access outside memory image")
+        return addrs >> 3
+
+    def gather_i64(self, addrs: np.ndarray) -> np.ndarray:
+        """Load 64-bit words from the given byte addresses (copy)."""
+        return self.i64[self._vindex(addrs)]
+
+    def scatter_i64(self, addrs: np.ndarray, values: np.ndarray) -> None:
+        """Store 64-bit words to the given byte addresses.
+
+        Duplicate addresses take the *last* value in element order,
+        matching element-serial hardware semantics (NumPy fancy-index
+        assignment has the same last-wins behaviour).
+        """
+        self.i64[self._vindex(addrs)] = values
+
+    # -- debugging / workload verification ------------------------------------
+
+    def read_f64_array(self, addr: int, count: int) -> np.ndarray:
+        """Copy ``count`` f64 words starting at ``addr`` (for self-checks)."""
+        idx = self._index(addr)
+        return self.f64[idx:idx + count].copy()
+
+    def read_i64_array(self, addr: int, count: int) -> np.ndarray:
+        """Copy ``count`` i64 words starting at ``addr`` (for self-checks)."""
+        idx = self._index(addr)
+        return self.i64[idx:idx + count].copy()

@@ -1,0 +1,57 @@
+"""Architectural thread state for the functional simulator."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..isa.registers import MVL, NUM_FREGS, NUM_SREGS, NUM_VREGS
+
+
+class ThreadState:
+    """The full architectural state of one software thread.
+
+    * scalar integer registers are Python ints (wrapped to 64-bit signed
+      on writeback by the executor -- Python ints avoid NumPy overflow
+      warnings in tight scalar loops),
+    * scalar FP registers are Python floats,
+    * vector registers are a single ``(NUM_VREGS, MVL)`` int64 array with
+      a float64 *view* of the same buffer, so integer and FP vector ops
+      reinterpret bits exactly like hardware would,
+    * ``vl`` is the vector-length register, ``vm`` the mask register.
+    """
+
+    __slots__ = ("tid", "ntid", "pc", "halted",
+                 "s", "f", "v_i", "v_f", "vl", "vm", "barrier_count")
+
+    def __init__(self, tid: int, ntid: int):
+        self.tid = tid
+        self.ntid = ntid
+        self.pc = 0
+        self.halted = False
+        self.s: List[int] = [0] * NUM_SREGS
+        self.f: List[float] = [0.0] * NUM_FREGS
+        self.v_i = np.zeros((NUM_VREGS, MVL), dtype=np.int64)
+        self.v_f = self.v_i.view(np.float64)
+        self.vl = MVL
+        self.vm = np.zeros(MVL, dtype=bool)
+        self.barrier_count = 0
+
+    def write_s(self, idx: int, value: int) -> None:
+        """Write a scalar integer register, wrapping to 64-bit signed.
+
+        ``s0`` is hard-wired to zero; writes to it are discarded.
+        """
+        if idx == 0:
+            return
+        value &= 0xFFFFFFFFFFFFFFFF
+        if value >= 0x8000000000000000:
+            value -= 0x10000000000000000
+        self.s[idx] = value
+
+    def active_mask(self, masked: bool) -> np.ndarray:
+        """Boolean element-enable over ``[0, vl)`` for a (possibly masked) op."""
+        if masked:
+            return self.vm[: self.vl]
+        return np.ones(self.vl, dtype=bool)

@@ -1,0 +1,125 @@
+"""Dynamic-trace records emitted by the functional simulator.
+
+The timing simulator is trace-driven: it replays :class:`DynOp` streams,
+one per software thread, against the microarchitecture model.  A
+:class:`DynOp` carries exactly what timing needs -- the static
+:class:`~repro.isa.opcodes.OpSpec`, the dense register uids read and
+written, the dynamic vector length, the element byte addresses of memory
+operations, and branch outcomes -- and nothing else (no data values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..isa.opcodes import OpSpec
+
+
+class DynOp:
+    """One dynamic instruction instance in a thread's trace."""
+
+    __slots__ = ("pc", "op", "spec", "reads", "writes", "vl", "addrs",
+                 "taken", "tgt", "imm")
+
+    def __init__(self, pc: int, op: str, spec: OpSpec,
+                 reads: Tuple[int, ...], writes: Tuple[int, ...],
+                 vl: int = 0, addrs: Optional[np.ndarray] = None,
+                 taken: Optional[bool] = None, tgt: Optional[int] = None,
+                 imm: Optional[int] = None):
+        self.pc = pc
+        self.op = op
+        self.spec = spec
+        self.reads = reads      # dense register uids (see isa.registers.reg_uid)
+        self.writes = writes
+        self.vl = vl            # dynamic vector length (0 for scalar ops)
+        self.addrs = addrs      # element byte addresses of active accesses
+        self.taken = taken      # branch outcome
+        self.tgt = tgt          # branch target pc
+        self.imm = imm          # vltcfg thread count, etc.
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" vl={self.vl}" if self.spec.is_vector else ""
+        return f"<DynOp pc={self.pc} {self.op}{extra}>"
+
+
+@dataclass
+class ThreadTrace:
+    """The dynamic trace of one software thread.
+
+    ``ops`` is segmented by barriers only implicitly -- barrier DynOps
+    appear in-stream and the timing model synchronises on them.
+    """
+
+    tid: int
+    ops: List[DynOp] = field(default_factory=list)
+
+    def append(self, op: DynOp) -> None:
+        self.ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # -- summary statistics (used by workload characterisation) -------------
+
+    def counts(self) -> Dict[str, int]:
+        """Instruction-count summary: total, scalar, vector, element ops."""
+        total = len(self.ops)
+        vector = sum(1 for o in self.ops if o.spec.is_vector)
+        elem_ops = sum(o.vl for o in self.ops if o.spec.is_vector)
+        return {
+            "total": total,
+            "scalar": total - vector,
+            "vector": vector,
+            "element_ops": elem_ops,
+        }
+
+    def vector_lengths(self) -> np.ndarray:
+        """The dynamic VL of every vector instruction, in order."""
+        return np.array([o.vl for o in self.ops if o.spec.is_vector],
+                        dtype=np.int64)
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        """Dynamic instruction counts per mnemonic."""
+        hist: Dict[str, int] = {}
+        for o in self.ops:
+            hist[o.op] = hist.get(o.op, 0) + 1
+        return hist
+
+    def pool_histogram(self) -> Dict[str, int]:
+        """Dynamic instruction counts per functional-unit pool."""
+        hist: Dict[str, int] = {}
+        for o in self.ops:
+            p = o.spec.pool
+            hist[p] = hist.get(p, 0) + 1
+        return hist
+
+
+@dataclass
+class ProgramTrace:
+    """Traces of all threads of one program execution."""
+
+    program_name: str
+    num_threads: int
+    threads: List[ThreadTrace] = field(default_factory=list)
+
+    def total_ops(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    def merged_counts(self) -> Dict[str, int]:
+        agg: Dict[str, int] = {"total": 0, "scalar": 0, "vector": 0,
+                               "element_ops": 0}
+        for t in self.threads:
+            for k, v in t.counts().items():
+                agg[k] += v
+        return agg
+
+    def merged_opcode_histogram(self) -> Dict[str, int]:
+        """Dynamic instruction counts per mnemonic, across threads."""
+        agg: Dict[str, int] = {}
+        for t in self.threads:
+            for op, n in t.opcode_histogram().items():
+                agg[op] = agg.get(op, 0) + n
+        return agg

@@ -1,0 +1,17 @@
+"""Experiment harness: drivers, rendering, CLI, EXPERIMENTS.md generator."""
+
+from . import experiments, model, report
+from .docgen import generate_experiments_md, write_experiments_md
+from .experiments import (ALL_APPS, LONG_VECTOR_APPS, SCALAR_APPS,
+                          VLT_VECTOR_APPS, area_tables, fig1_lane_scaling,
+                          fig3_vlt_speedup, fig4_utilization,
+                          fig5_design_space, fig6_scalar_threads,
+                          table3_parameters, table4_characteristics)
+
+__all__ = [
+    "experiments", "model", "report", "generate_experiments_md",
+    "write_experiments_md", "ALL_APPS", "LONG_VECTOR_APPS", "SCALAR_APPS",
+    "VLT_VECTOR_APPS", "area_tables", "fig1_lane_scaling",
+    "fig3_vlt_speedup", "fig4_utilization", "fig5_design_space",
+    "fig6_scalar_threads", "table3_parameters", "table4_characteristics",
+]

@@ -1,0 +1,219 @@
+"""Command-line driver: regenerate any table/figure of the paper.
+
+Usage::
+
+    vlt-repro table1 table2 table3 table4
+    vlt-repro fig1 fig3 fig4 fig5 fig6
+    vlt-repro all
+    vlt-repro all --experiments-md EXPERIMENTS.md   # rewrite the doc
+    vlt-repro fig1 --apps mpenc,trfd --lanes 1,8    # narrower/faster
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from . import experiments as E
+from . import report as R
+
+EXPERIMENT_NAMES = ["table1", "table2", "table3", "table4",
+                    "fig1", "fig3", "fig4", "fig5", "fig6"]
+
+
+def verify_workloads(apps: Optional[List[str]] = None) -> str:
+    """Run every workload's functional self-check at every supported
+    thread count (plus the scalar flavours); returns a report."""
+    from ..workloads import all_workload_names, get_workload
+    rows = []
+    for name in (apps or all_workload_names()):
+        w = get_workload(name)
+        checked = []
+        for nt in w.thread_counts:
+            w.run_and_verify(num_threads=nt)
+            checked.append(str(nt))
+        flavours = "vector"
+        if name in ("radix", "ocean", "barnes"):
+            w.run_and_verify(num_threads=8, scalar_only=True)
+            flavours += "+scalar"
+        rows.append((name, ",".join(checked), flavours, "OK"))
+    return R.table(["app", "thread counts", "flavours", "status"], rows,
+                   "Workload verification (against NumPy references)")
+
+
+def instruction_mix(apps: Optional[List[str]] = None,
+                    top: int = 12) -> str:
+    """Dynamic instruction-mix report per workload (single thread)."""
+    from ..timing.run import trace_for
+    from ..workloads import all_workload_names, get_workload
+    sections: List[str] = []
+    for name in (apps or all_workload_names()):
+        prog = get_workload(name).program()
+        trace = trace_for(prog, 1)
+        hist = trace.merged_opcode_histogram()
+        total = sum(hist.values())
+        rows = [(op, n, f"{100 * n / total:.1f}%")
+                for op, n in sorted(hist.items(), key=lambda kv: -kv[1])
+                [:top]]
+        sections.append(R.table(
+            ["opcode", "count", "share"], rows,
+            f"{name}: {total} dynamic instructions (top {top})"))
+    return "\n\n".join(sections)
+
+
+def run_single(app: str, config: str = "base", threads: int = 1,
+               scalar_only: bool = False) -> str:
+    """Run one workload on one machine configuration; report the stats."""
+    from ..timing import simulate
+    from ..timing.config import get_config
+    from ..workloads import get_workload
+    w = get_workload(app)
+    prog = w.program(scalar_only=scalar_only)
+    cfg = get_config(config)
+    r = simulate(prog, cfg, num_threads=threads)
+    lines = [r.summary()]
+    if r.phase_release_cycles:
+        lines.append(f"  phases: {r.phase_durations()}")
+    lines.append(f"  thread finish times: {r.thread_finish}")
+    lines.append(f"  L2 bank-conflict cycles: {r.l2_bank_conflict_cycles}")
+    for i, s in enumerate(r.scalar_units):
+        if s.fetched:
+            lines.append(
+                f"  SU{i}: mispredicts {s.branch_mispredicts}/"
+                f"{s.branch_lookups} branches; L1D misses "
+                f"{s.l1d_misses}/{s.l1d_accesses}; VIQ dispatch stalls "
+                f"{s.dispatch_stall_viq}")
+    return "\n".join(lines)
+
+
+def run_experiment_data(name: str, apps: Optional[List[str]] = None,
+                        lanes: Optional[List[int]] = None) -> Any:
+    """Run one experiment and return its raw result object."""
+    if name in ("table1", "table2"):
+        return E.area_tables()
+    if name == "table3":
+        return E.table3_parameters()
+    if name == "table4":
+        return E.table4_characteristics(apps or E.ALL_APPS)
+    if name == "fig1":
+        return E.fig1_lane_scaling(apps or E.ALL_APPS, lanes or (1, 2, 4, 8))
+    if name == "fig3":
+        return E.fig3_vlt_speedup(apps or E.VLT_VECTOR_APPS)
+    if name == "fig4":
+        return E.fig4_utilization(apps or E.VLT_VECTOR_APPS)
+    if name == "fig5":
+        return E.fig5_design_space(apps or E.VLT_VECTOR_APPS)
+    if name == "fig6":
+        return E.fig6_scalar_threads(apps or E.SCALAR_APPS)
+    raise KeyError(f"unknown experiment {name!r}; known: {EXPERIMENT_NAMES}")
+
+
+def _jsonable(obj: Any) -> Any:
+    """Recursively convert result objects to JSON-compatible data."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    return obj
+
+
+_RENDERERS = {
+    "table1": R.render_area, "table2": R.render_area,
+    "table3": R.render_table3, "table4": R.render_table4,
+    "fig1": R.render_fig1, "fig3": R.render_fig3, "fig4": R.render_fig4,
+    "fig5": R.render_fig5, "fig6": R.render_fig6,
+}
+
+
+def _render(name: str, data: Any) -> str:
+    return _RENDERERS[name](data)
+
+
+def run_experiment(name: str, apps: Optional[List[str]] = None,
+                   lanes: Optional[List[int]] = None) -> str:
+    """Run one experiment and return its rendered report."""
+    return _render(name, run_experiment_data(name, apps=apps, lanes=lanes))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vlt-repro",
+        description="Reproduce tables/figures of 'Vector Lane Threading' "
+                    "(ICPP 2006)")
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiments to run: {EXPERIMENT_NAMES}, "
+                             f"'verify' (workload self-checks), "
+                             f"'mix' (instruction-mix report) or 'all'")
+    parser.add_argument("--apps", type=str, default=None,
+                        help="comma-separated application subset")
+    parser.add_argument("--lanes", type=str, default=None,
+                        help="comma-separated lane counts for fig1")
+    parser.add_argument("--experiments-md", type=str, default=None,
+                        help="also write the combined report to this file")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write raw experiment data as JSON to this file")
+    parser.add_argument("--config", type=str, default="base",
+                        help="machine configuration for the 'run' verb")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="thread count for the 'run' verb")
+    parser.add_argument("--scalar-only", action="store_true",
+                        help="use the scalar program flavour ('run' verb)")
+    args = parser.parse_args(argv)
+
+    if args.experiments[0] == "run":
+        if len(args.experiments) != 2:
+            parser.error("usage: vlt-repro run <app> [--config C] "
+                         "[--threads N]")
+        print(run_single(args.experiments[1], config=args.config,
+                         threads=args.threads,
+                         scalar_only=args.scalar_only))
+        return 0
+
+    names = args.experiments
+    if names == ["all"]:
+        names = EXPERIMENT_NAMES
+    # table1/table2 render together; drop the duplicate
+    if "table1" in names and "table2" in names:
+        names.remove("table2")
+    apps = args.apps.split(",") if args.apps else None
+    lanes = [int(x) for x in args.lanes.split(",")] if args.lanes else None
+
+    sections: List[str] = []
+    json_data: Dict[str, Any] = {}
+    for name in names:
+        t0 = time.time()
+        if name == "verify":
+            text = verify_workloads(apps)
+        elif name == "mix":
+            text = instruction_mix(apps)
+        elif args.json:
+            data = run_experiment_data(name, apps=apps, lanes=lanes)
+            json_data[name] = _jsonable(data)
+            text = _render(name, data)
+        else:
+            text = run_experiment(name, apps=apps, lanes=lanes)
+        sections.append(text)
+        print(text)
+        print(f"\n[{name}: {time.time() - t0:.1f}s]\n")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(json_data, fh, indent=2)
+        print(f"wrote {args.json}")
+
+    if args.experiments_md:
+        from .docgen import write_experiments_md
+        write_experiments_md(args.experiments_md)
+        print(f"wrote {args.experiments_md}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""First-order VLT speedup model (the paper's Section 7.1 arithmetic).
+
+The paper explains each application's measured speedup from two Table 4
+quantities: the *opportunity* (the fraction of base execution time in
+VLT-accelerable parallel phases) and the *average vector length* (how
+many lanes the original single thread keeps busy, hence how many
+threads' worth of idle lane capacity exists).  E.g. for mpenc:
+"an average vector length of 11 ... only 2 to 4 vector lanes are
+efficiently used ... potential for 1 to 3 additional threads and a 78%
+opportunity, mpenc should achieve an overall speedup of 1.6 to 2.3.
+Our results indicate that mpenc reaches a speedup of 1.8."
+
+This module reproduces that reasoning as code so the harness can check
+measured speedups against the model's predicted band.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def amdahl(opportunity: float, parallel_speedup: float) -> float:
+    """Overall speedup when only ``opportunity`` of time parallelises."""
+    if not 0.0 <= opportunity <= 1.0:
+        raise ValueError("opportunity must be in [0, 1]")
+    if parallel_speedup <= 0:
+        raise ValueError("parallel speedup must be positive")
+    serial = 1.0 - opportunity
+    return 1.0 / (serial + opportunity / parallel_speedup)
+
+
+def lanes_used_by_one_thread(avg_vl: float, lanes: int = 8) -> float:
+    """How many lanes the original single thread keeps busy.
+
+    A vector instruction of length VL occupies ``ceil(VL/lanes)`` cycles
+    across all lanes; the *efficiently used* lane count is
+    ``VL / ceil(VL/lanes)`` (the paper reads "average VL 11" as "2 to 4
+    lanes used").
+    """
+    if avg_vl <= 0:
+        return 1.0
+    occ = math.ceil(avg_vl / lanes)
+    return avg_vl / occ
+
+
+@dataclass(frozen=True)
+class SpeedupBand:
+    """Predicted overall-speedup interval for a VLT configuration."""
+
+    low: float
+    high: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def widened(self, factor: float = 0.15) -> "SpeedupBand":
+        """A tolerance-widened band for asserting measured values."""
+        return SpeedupBand(self.low * (1 - factor),
+                           self.high * (1 + factor))
+
+
+def predicted_band(opportunity_pct: float, avg_vl: float, threads: int,
+                   lanes: int = 8) -> SpeedupBand:
+    """The paper-style predicted speedup band for ``threads`` VLT threads.
+
+    * Upper bound: the parallel phases speed up by the full thread count
+      -- every VLT thread brings its own scalar unit, and the vector
+      side finds idle lane capacity -- Amdahl-limited by the
+      opportunity.
+    * Lower bound: the parallel-phase speedup is capped by the idle
+      *lane* capacity alone -- ``lanes / lanes_used_by_one_thread``,
+      halved for the paper's pessimistic "1 extra thread" end -- i.e.
+      the case where the scalar units contribute nothing.
+    """
+    o = opportunity_pct / 100.0
+    used = lanes_used_by_one_thread(avg_vl, lanes)
+    capacity = max(1.0, lanes / used)
+    s_high = float(threads)
+    s_low = max(1.0, min(threads / 2.0, capacity / 2.0))
+    return SpeedupBand(low=amdahl(o, s_low), high=amdahl(o, s_high))

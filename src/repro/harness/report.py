@@ -1,0 +1,161 @@
+"""Rendering: ASCII tables / bar charts and the EXPERIMENTS.md document."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..workloads.characteristics import PAPER_TABLE4, AppCharacteristics
+from .experiments import (PAPER_FIG1_8LANE, PAPER_FIG3_BANDS, PAPER_FIG6,
+                          AreaResult, Fig1Result, Fig3Result, Fig4Result,
+                          Fig5Result, Fig6Result)
+
+BAR_WIDTH = 36
+
+
+def bar(value: float, vmax: float, width: int = BAR_WIDTH) -> str:
+    """A horizontal ASCII bar scaled so ``vmax`` fills ``width`` chars."""
+    n = 0 if vmax <= 0 else max(0, min(width, round(width * value / vmax)))
+    return "#" * n
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+          title: str = "") -> str:
+    """Monospace table with auto-sized columns."""
+    srows = [[str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in srows:
+        lines.append(fmt.format(*r))
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# per-experiment renderers
+# --------------------------------------------------------------------------
+
+def render_fig1(res: Fig1Result) -> str:
+    rows = []
+    for app in res.cycles:
+        sp = res.speedups(app)
+        rows.append([app] + [f"{s:.2f}" for s in sp]
+                    + [f"{PAPER_FIG1_8LANE.get(app, 0):.1f}"])
+    headers = ["app"] + [f"{n} lanes" for n in res.lanes] + ["paper@8"]
+    out = [table(headers, rows,
+                 "Figure 1: speedup vs number of vector lanes "
+                 "(normalised to 1 lane)")]
+    out.append("")
+    vmax = max(max(res.speedups(a)) for a in res.cycles)
+    for app in res.cycles:
+        s8 = res.speedups(app)[-1]
+        out.append(f"{app:10s} |{bar(s8, vmax)} {s8:.2f}")
+    return "\n".join(out)
+
+
+def render_area(res: AreaResult) -> str:
+    t1 = table(["Component", "Area (mm^2)"],
+               [(n, f"{a:.1f}") for n, a in res.table1],
+               "Table 1: area breakdown (0.10um, Alpha-derived constants)")
+    t2 = table(["Configuration", "% increase (ours)", "% increase (paper)"],
+               [(n, f"{o:.1f}", f"{p:.1f}") for n, o, p in res.table2],
+               "Table 2: area increase over the base vector processor")
+    note = ("note: V4-CMP recomputes to 36.8% (= 3 x 20.9 / 170.2), "
+            "matching the paper's prose ('37%'); the paper's table value "
+            "26.9% is internally inconsistent.")
+    return t1 + "\n\n" + t2 + "\n" + note
+
+
+def render_table3(rows: List[Tuple[str, str]]) -> str:
+    return table(["Component", "Parameters"], rows,
+                 "Table 3: base vector processor parameters")
+
+
+def render_table4(chars: List[AppCharacteristics]) -> str:
+    rows = []
+    for c in chars:
+        pv, avl, cvl, opp = PAPER_TABLE4[c.name]
+        name, mv, mavl, mcvl, mopp = c.row()
+        rows.append([
+            name,
+            f"{mv} ({pv if pv is not None else '-'})",
+            f"{mavl} ({avl if avl is not None else '-'})",
+            f"{mcvl}  [{', '.join(map(str, cvl)) or '-'}]",
+            f"{mopp} ({opp if opp is not None else '-'})",
+        ])
+    return table(
+        ["app", "%vect (paper)", "avg VL (paper)",
+         "common VLs [paper]", "%opportunity (paper)"],
+        rows, "Table 4: application characteristics, measured (paper)")
+
+
+def render_fig3(res: Fig3Result) -> str:
+    rows = []
+    for app, c in res.cycles.items():
+        rows.append([app, c["base"], c[2], f"{res.speedup(app, 2):.2f}",
+                     c[4], f"{res.speedup(app, 4):.2f}"])
+    t = table(["app", "base cycles", "VLT-2 cycles", "x2", "VLT-4 cycles",
+               "x4"],
+              rows, "Figure 3: VLT speedup for vector threads over base")
+    lo2, hi2 = PAPER_FIG3_BANDS[2]
+    lo4, hi4 = PAPER_FIG3_BANDS[4]
+    out = [t, "", f"paper bands: 2 threads {lo2}-{hi2}, 4 threads {lo4}-{hi4}",
+           ""]
+    vmax = max(res.speedup(a, 4) for a in res.cycles)
+    for app in res.cycles:
+        for thr in (2, 4):
+            s = res.speedup(app, thr)
+            out.append(f"{app:10s} VLT-{thr} |{bar(s, vmax)} {s:.2f}")
+    return "\n".join(out)
+
+
+def render_fig4(res: Fig4Result) -> str:
+    out = ["Figure 4: datapath utilization, normalised to base execution "
+           "(lower total = faster; 24 arithmetic datapaths)"]
+    for app, cfgs in res.data.items():
+        out.append(f"\n{app}:")
+        bars = res.normalized_bars(app)
+        for label in ("base", "VLT-2", "VLT-4"):
+            f = bars[label]
+            total = sum(f.values())
+            out.append(
+                f"  {label:6s} total {total:5.2f} | "
+                f"busy {f['busy']:.2f}  stalled {f['stalled']:.2f}  "
+                f"all-idle {f['all_idle']:.2f}  "
+                f"partly-idle {f['partly_idle']:.2f}")
+    return "\n".join(out)
+
+
+def render_fig5(res: Fig5Result) -> str:
+    cfg_names = next(iter(res.speedups.values())).keys()
+    rows = []
+    for app, row in res.speedups.items():
+        rows.append([app] + [f"{row[c]:.2f}" for c in cfg_names])
+    t = table(["app"] + list(cfg_names), rows,
+              "Figure 5: design-space speedup over base "
+              "(V2-* run 2 threads, V4-* run 4)")
+    return t
+
+
+def render_fig6(res: Fig6Result) -> str:
+    rows = []
+    for app, c in res.cycles.items():
+        rows.append([app, c["CMT"], c["VLT"], f"{res.speedup(app):.2f}",
+                     f"{PAPER_FIG6[app]:.1f}"])
+    t = table(["app", "CMT cycles (4 thr)", "VLT-lanes cycles (8 thr)",
+               "speedup", "paper"],
+              rows,
+              "Figure 6: 8 scalar threads on the vector lanes vs the "
+              "2-core CMT")
+    out = [t, ""]
+    vmax = max(max(res.speedup(a) for a in res.cycles), 1.0)
+    for app in res.cycles:
+        s = res.speedup(app)
+        out.append(f"{app:10s} |{bar(s, vmax)} {s:.2f}")
+    return "\n".join(out)

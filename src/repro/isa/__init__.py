@@ -1,0 +1,29 @@
+"""X1-flavoured vector ISA: registers, opcodes, programs, assembler.
+
+Public surface:
+
+* :mod:`repro.isa.registers` -- register model (``sreg``/``freg``/``vreg``,
+  :data:`~repro.isa.registers.MVL`, uid mapping).
+* :mod:`repro.isa.opcodes` -- the opcode registry (:func:`spec`).
+* :mod:`repro.isa.program` -- :class:`Instr` / :class:`Program`.
+* :mod:`repro.isa.builder` -- :class:`ProgramBuilder` (programmatic emission).
+* :mod:`repro.isa.assembler` -- :func:`assemble` (text assembly).
+"""
+
+from .assembler import Assembler, AssemblerError, assemble
+from .builder import F, ProgramBuilder, S, V, make_instr
+from .opcodes import OPCODES, OpSpec, all_opcodes, spec
+from .program import DataSymbol, Instr, Program
+from .registers import (MVL, NUM_FREGS, NUM_REG_UIDS, NUM_SREGS, NUM_VREGS,
+                        VL, VM, WORD_BYTES, Reg, freg, is_vector_reg,
+                        parse_reg, reg_name, reg_uid, sreg, vreg)
+
+__all__ = [
+    "Assembler", "AssemblerError", "assemble",
+    "F", "ProgramBuilder", "S", "V", "make_instr",
+    "OPCODES", "OpSpec", "all_opcodes", "spec",
+    "DataSymbol", "Instr", "Program",
+    "MVL", "NUM_FREGS", "NUM_REG_UIDS", "NUM_SREGS", "NUM_VREGS",
+    "VL", "VM", "WORD_BYTES", "Reg", "freg", "is_vector_reg",
+    "parse_reg", "reg_name", "reg_uid", "sreg", "vreg",
+]

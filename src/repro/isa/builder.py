@@ -1,0 +1,246 @@
+"""Programmatic assembly builder.
+
+:class:`ProgramBuilder` is the API the workload generators and the
+vectorizing compiler use to emit code.  It wraps instruction creation,
+label management, and data-image allocation::
+
+    b = ProgramBuilder("axpy", memory_kib=64)
+    x = b.data_f64("x", np.arange(256.0))
+    y = b.data_f64("y", np.zeros(256))
+    b.li(S(1), 256)
+    b.la(S(2), "x"); b.la(S(3), "y")
+    loop = b.label("loop")
+    b.setvl(S(4), S(1))
+    b.vld(V(1), (0, S(2)))
+    b.op("vfmul.vs", V(2), V(1), F(1))
+    b.vst(V(2), (0, S(3)))
+    ...
+    b.halt()
+    prog = b.build()
+
+Every opcode in the registry is reachable either through
+:meth:`ProgramBuilder.op` (canonical mnemonic, e.g. ``"vfadd.vv"``) or as
+an attribute with dots replaced by underscores (``b.vfadd_vv(...)``).
+A trailing ``masked=True`` keyword adds the ``.m`` masked-execution
+suffix on opcodes that allow it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .opcodes import OPCODES, spec
+from .program import DataSymbol, Instr, MemOperand, Program
+from .registers import VM, Reg, freg, sreg, vreg
+
+#: Convenient register constructors re-exported for workload code.
+S = sreg
+F = freg
+V = vreg
+
+#: Data allocations are aligned to this many bytes (one L2 line).
+DATA_ALIGN = 64
+
+OperandValue = Union[Reg, int, float, str, Tuple[int, Reg]]
+
+_KIND_CLASSES = {"sd": "s", "ss": "s", "fd": "f", "fs": "f",
+                 "vd": "v", "vs": "v"}
+
+
+def _check_reg(val: OperandValue, kind: str, op: str) -> Reg:
+    if (not isinstance(val, tuple) or len(val) != 2
+            or val[0] not in ("s", "f", "v", "vm", "vl")):
+        raise TypeError(f"{op}: expected a register for {kind!r}, got {val!r}")
+    want = _KIND_CLASSES[kind]
+    if val[0] != want:
+        raise TypeError(
+            f"{op}: operand class mismatch: expected {want!r}, got {val[0]!r}")
+    return val  # type: ignore[return-value]
+
+
+def make_instr(name: str, operands: Sequence[OperandValue],
+               masked: bool = False) -> Instr:
+    """Create an :class:`Instr` from a mnemonic and positional operands.
+
+    ``name`` may carry a trailing ``.m`` suffix as an alternative to
+    ``masked=True``.  Memory operands are ``(offset, base_reg)`` tuples;
+    a bare scalar register means offset 0.
+    """
+    if name.endswith(".m") and name not in OPCODES:
+        name = name[:-2]
+        masked = True
+    s = spec(name)
+    if len(operands) != len(s.sig) - (1 if "vmd" in s.sig else 0):
+        # vmd (the mask destination) is implicit and never passed.
+        expected = len(s.sig) - (1 if "vmd" in s.sig else 0)
+        raise TypeError(
+            f"{name}: expected {expected} operands, got {len(operands)}")
+
+    dst: Optional[Reg] = None
+    srcs: List[Reg] = []
+    imm: Union[int, float, None] = None
+    mem: Optional[MemOperand] = None
+    stride: Optional[Reg] = None
+    vidx: Optional[Reg] = None
+    target: Union[int, str, None] = None
+
+    it = iter(operands)
+    for kind in s.sig:
+        if kind == "vmd":
+            dst = VM
+            continue
+        val = next(it)
+        if kind in ("sd", "fd", "vd"):
+            dst = _check_reg(val, kind, name)
+        elif kind in ("ss", "fs", "vs"):
+            reg = _check_reg(val, kind, name)
+            if kind == "ss" and s.mem_stride and mem is not None:
+                stride = reg
+            elif kind == "vs" and s.mem_indexed and mem is not None:
+                vidx = reg
+            else:
+                srcs.append(reg)
+        elif kind == "imm":
+            if not isinstance(val, (int, float, np.integer, np.floating)):
+                raise TypeError(f"{name}: expected immediate, got {val!r}")
+            imm = float(val) if name == "fli" else int(val)
+        elif kind == "mem":
+            if isinstance(val, tuple) and len(val) == 2 and val[0] == "s":
+                mem = (0, val)  # bare register
+            elif (isinstance(val, tuple) and len(val) == 2
+                  and isinstance(val[0], (int, np.integer))):
+                base = _check_reg(val[1], "ss", name)
+                mem = (int(val[0]), base)
+            else:
+                raise TypeError(
+                    f"{name}: expected (offset, sreg) memory operand, got {val!r}")
+        elif kind == "label":
+            if not isinstance(val, (str, int)):
+                raise TypeError(f"{name}: expected label, got {val!r}")
+            target = val
+        else:  # pragma: no cover - registry is validated at import
+            raise AssertionError(f"bad operand kind {kind!r}")
+
+    return Instr(name, dst=dst, srcs=tuple(srcs), imm=imm, mem=mem,
+                 stride=stride, vidx=vidx, target=target, masked=masked)
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`."""
+
+    def __init__(self, name: str = "program", memory_kib: int = 256):
+        self.name = name
+        self._instrs: List[Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._symbols: Dict[str, DataSymbol] = {}
+        self._initializers: List[Tuple[int, np.ndarray]] = []
+        self._next_addr = DATA_ALIGN  # keep address 0 unused (null-ish)
+        self._memory_bytes = memory_kib * 1024
+        self._genlabel_counter = 0
+
+    # -- data image ---------------------------------------------------------
+
+    def _alloc(self, name: str, nbytes: int, dtype: str) -> DataSymbol:
+        if name in self._symbols:
+            raise ValueError(f"duplicate data symbol {name!r}")
+        addr = self._next_addr
+        self._next_addr = -(-(addr + nbytes) // DATA_ALIGN) * DATA_ALIGN
+        if self._next_addr > self._memory_bytes:
+            raise MemoryError(
+                f"program {self.name!r}: data image overflows "
+                f"{self._memory_bytes} bytes at symbol {name!r}")
+        sym = DataSymbol(name=name, addr=addr, nbytes=nbytes, dtype=dtype)
+        self._symbols[name] = sym
+        return sym
+
+    def data_f64(self, name: str,
+                 init: Union[int, Sequence[float], np.ndarray]) -> DataSymbol:
+        """Allocate an f64 array; ``init`` is a length or initial values."""
+        if isinstance(init, (int, np.integer)):
+            return self._alloc(name, int(init) * 8, "f8")
+        arr = np.asarray(init, dtype=np.float64)
+        sym = self._alloc(name, arr.size * 8, "f8")
+        self._initializers.append((sym.addr, arr))
+        return sym
+
+    def data_i64(self, name: str,
+                 init: Union[int, Sequence[int], np.ndarray]) -> DataSymbol:
+        """Allocate an i64 array; ``init`` is a length or initial values."""
+        if isinstance(init, (int, np.integer)):
+            return self._alloc(name, int(init) * 8, "i8")
+        arr = np.asarray(init, dtype=np.int64)
+        sym = self._alloc(name, arr.size * 8, "i8")
+        self._initializers.append((sym.addr, arr))
+        return sym
+
+    def space(self, name: str, nbytes: int) -> DataSymbol:
+        """Reserve ``nbytes`` of zeroed memory."""
+        return self._alloc(name, nbytes, "raw")
+
+    def addr_of(self, name: str) -> int:
+        return self._symbols[name].addr
+
+    # -- code ---------------------------------------------------------------
+
+    def op(self, name: str, *operands: OperandValue,
+           masked: bool = False) -> Instr:
+        """Emit one instruction by canonical mnemonic."""
+        ins = make_instr(name, operands, masked=masked)
+        self._instrs.append(ins)
+        return ins
+
+    def __getattr__(self, attr: str):
+        # Attribute access fallback: `b.vfadd_vv(...)` -> op("vfadd.vv", ...).
+        name = attr.replace("_", ".")
+        if attr in OPCODES:
+            name = attr
+        if name not in OPCODES:
+            raise AttributeError(attr)
+
+        def emit(*operands: OperandValue, masked: bool = False) -> Instr:
+            return self.op(name, *operands, masked=masked)
+
+        return emit
+
+    def label(self, name: str) -> str:
+        """Define a label at the current position; returns the name."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return name
+
+    def genlabel(self, prefix: str = "L") -> str:
+        """Generate a fresh label *name* (not yet placed)."""
+        self._genlabel_counter += 1
+        return f".{prefix}{self._genlabel_counter}"
+
+    def la(self, rd: Reg, symbol: str, offset: int = 0) -> Instr:
+        """Load the address of a data symbol (+offset) into a scalar reg."""
+        return self.op("li", rd, self.addr_of(symbol) + offset)
+
+    def mv(self, rd: Reg, rs: Reg) -> Instr:
+        """Register move pseudo-instruction (``addi rd, rs, 0``)."""
+        return self.op("addi", rd, rs, 0)
+
+    def jmp(self, label: str) -> Instr:
+        """Unconditional jump pseudo (plain ``j``)."""
+        return self.op("j", label)
+
+    @property
+    def here(self) -> int:
+        """Current instruction index (useful for size accounting)."""
+        return len(self._instrs)
+
+    def build(self) -> Program:
+        """Finalize into an immutable, label-resolved :class:`Program`."""
+        prog = Program(
+            name=self.name,
+            instrs=list(self._instrs),
+            labels=dict(self._labels),
+            symbols=dict(self._symbols),
+            initializers=list(self._initializers),
+            memory_bytes=self._memory_bytes,
+        )
+        return prog.finalize()

@@ -1,0 +1,126 @@
+"""Generate the ISA reference document from the opcode registry.
+
+Keeping the reference generated guarantees it never drifts from the
+implementation::
+
+    python -m repro.isa.doc docs/isa.md
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List
+
+from .opcodes import OPCODES, OpSpec
+from .registers import MVL, NUM_FREGS, NUM_SREGS, NUM_VREGS
+
+_SECTIONS = [
+    ("Scalar integer arithmetic",
+     lambda s: s.pool == "arith" and not s.is_branch and not s.is_vector
+     and s.sig[:1] in ((), ("sd",)) and not s.writes_vl
+     and s.name not in ("tid", "ntid")),
+    ("Scalar floating point",
+     lambda s: s.pool == "arith" and s.sig[:1] == ("fd",)),
+    ("Scalar memory", lambda s: s.pool == "mem"),
+    ("Control flow", lambda s: s.is_branch or s.is_halt),
+    ("Vector length control", lambda s: s.writes_vl),
+    ("Vector arithmetic",
+     lambda s: s.pool == "varith" and not s.writes_mask
+     and not s.is_reduction and not s.reads_mask
+     and s.name not in ("vext", "vfext", "vins", "vfins")),
+    ("Vector compares and mask operations",
+     lambda s: s.writes_mask or s.reads_mask),
+    ("Vector reductions", lambda s: s.is_reduction),
+    ("Vector element insert/extract",
+     lambda s: s.name in ("vext", "vfext", "vins", "vfins")),
+    ("Vector memory", lambda s: s.pool == "vmem"),
+    ("Thread / VLT runtime",
+     lambda s: s.is_barrier or s.is_vltcfg or s.is_lsync
+     or s.name in ("tid", "ntid")),
+]
+
+_KIND_DOC = {
+    "sd": "sX", "ss": "sX", "fd": "fX", "fs": "fX", "vd": "vX", "vs": "vX",
+    "vmd": "(vm)", "imm": "imm", "mem": "off(sX)", "label": "label",
+}
+
+
+def _operands(s: OpSpec) -> str:
+    parts = [_KIND_DOC[k] for k in s.sig if k != "vmd"]
+    return ", ".join(parts)
+
+
+def _flags(s: OpSpec) -> str:
+    out: List[str] = []
+    if s.allow_mask:
+        out.append("maskable (`.m`)")
+    if s.writes_mask:
+        out.append("writes vm")
+    if s.reads_mask:
+        out.append("reads vm")
+    if s.dst_is_src:
+        out.append("read-modify-write")
+    if s.mem_stride:
+        out.append("strided")
+    if s.mem_indexed:
+        out.append("indexed")
+    return "; ".join(out)
+
+
+def isa_reference_md() -> str:
+    lines = [
+        "# ISA reference",
+        "",
+        "*Generated from the opcode registry "
+        "(`python -m repro.isa.doc docs/isa.md`); do not edit by hand.*",
+        "",
+        "An X1-flavoured vector instruction set: "
+        f"{NUM_SREGS} scalar integer registers (`s0` = 0), "
+        f"{NUM_FREGS} FP registers, {NUM_VREGS} vector registers of "
+        f"{MVL} 64-bit elements, a vector-length register `vl` and a "
+        "mask register `vm`.  All memory accesses are 64-bit and "
+        "8-byte aligned.  `latency` is the execute/start-up latency in "
+        "the timing model; vector ops additionally occupy a functional "
+        "unit for `ceil(vl / lanes)` cycles.",
+        "",
+    ]
+    assigned: Dict[str, bool] = {name: False for name in OPCODES}
+    for title, pred in _SECTIONS:
+        rows = [s for n, s in OPCODES.items()
+                if not assigned[n] and pred(s)]
+        if not rows:
+            continue
+        for s in rows:
+            assigned[s.name] = True
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| mnemonic | operands | pool | latency | notes |")
+        lines.append("|---|---|---|---|---|")
+        for s in rows:
+            lines.append(f"| `{s.name}` | {_operands(s)} | {s.pool} "
+                         f"| {s.latency} | {_flags(s)} |")
+        lines.append("")
+    rest = [n for n, done in assigned.items() if not done]
+    if rest:
+        lines.append("## Miscellaneous")
+        lines.append("")
+        lines.append("| mnemonic | operands | pool | latency | notes |")
+        lines.append("|---|---|---|---|---|")
+        for n in rest:
+            s = OPCODES[n]
+            lines.append(f"| `{s.name}` | {_operands(s)} | {s.pool} "
+                         f"| {s.latency} | {_flags(s)} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    path = argv[0] if argv else "docs/isa.md"
+    with open(path, "w") as fh:
+        fh.write(isa_reference_md())
+    print(f"wrote {path} ({len(OPCODES)} opcodes)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

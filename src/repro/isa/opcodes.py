@@ -1,0 +1,283 @@
+"""Opcode registry for the X1-flavoured VLT ISA.
+
+Each opcode is described by an :class:`OpSpec` carrying everything the
+assembler, the functional simulator and the timing simulator need to
+know about it *except* its semantics (which live in
+:mod:`repro.functional.executor`) :
+
+* ``sig`` -- the assembly operand signature, a tuple of operand-kind
+  tags (see :data:`OPERAND_KINDS`),
+* ``pool`` -- which functional-unit pool executes it
+  (``"arith"``/``"mem"`` in the scalar unit, ``"varith"``/``"vmem"`` in
+  the vector lanes, ``"none"`` for pure control),
+* ``latency`` -- execute latency in cycles.  For scalar memory ops this
+  is the address-generation cost (cache latency is added by the memory
+  model); for vector ops it is the pipeline start-up cost (occupancy is
+  ``ceil(VL / lanes)`` and is added by the lane model),
+* boolean classification flags used throughout the pipeline models.
+
+The instruction set is deliberately close to the Cray X1 subset the
+paper's benchmarks exercise: scalar integer/FP ALU, scalar memory,
+branches, ``setvl`` strip-mine control, vector integer/FP arithmetic in
+``.vv`` (vector-vector) and ``.vs`` (vector-scalar) forms, vector
+compares into the mask register, masked execution, reductions, element
+insert/extract, unit-stride/strided/indexed memory, and the thread/VLT
+runtime operations (``tid``/``ntid``/``barrier``/``vltcfg``) of which
+``vltcfg`` is the paper's single ISA extension (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Operand-kind tags used in opcode signatures.
+#:
+#: ``sd``/``ss``   scalar integer destination / source
+#: ``fd``/``fs``   scalar FP destination / source
+#: ``vd``/``vs``   vector destination / source
+#: ``vmd``         the mask register as destination
+#: ``imm``         integer immediate
+#: ``mem``         memory operand ``offset(sreg)``
+#: ``label``       branch target label
+OPERAND_KINDS = ("sd", "ss", "fd", "fs", "vd", "vs", "vmd", "imm", "mem", "label")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    name: str
+    sig: Tuple[str, ...]
+    pool: str
+    latency: int
+    is_vector: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_uncond: bool = False
+    is_barrier: bool = False
+    is_halt: bool = False
+    writes_vl: bool = False
+    writes_mask: bool = False
+    reads_mask: bool = False
+    is_reduction: bool = False
+    allow_mask: bool = False  # may carry a ``.m`` masked-execution suffix
+    dst_is_src: bool = False  # read-modify-write destination (vins)
+    is_vltcfg: bool = False
+    is_lsync: bool = False    # scalar/vector memory ordering fence
+    mem_stride: bool = False  # strided memory op (extra scalar stride operand)
+    mem_indexed: bool = False  # indexed/gather-scatter memory op
+
+    @property
+    def has_dst(self) -> bool:
+        return bool(self.sig) and self.sig[0] in ("sd", "fd", "vd", "vmd")
+
+
+#: The opcode registry, keyed by canonical assembly mnemonic.
+OPCODES: Dict[str, OpSpec] = {}
+
+
+def _add(name: str, sig: Tuple[str, ...], pool: str, latency: int, **flags) -> None:
+    if name in OPCODES:
+        raise ValueError(f"duplicate opcode {name!r}")
+    OPCODES[name] = OpSpec(name=name, sig=sig, pool=pool, latency=latency, **flags)
+
+
+# --------------------------------------------------------------------------
+# Scalar integer ALU
+# --------------------------------------------------------------------------
+
+_INT_RR = {
+    "add": 1, "sub": 1, "mul": 3, "div": 12, "rem": 12,
+    "and": 1, "or": 1, "xor": 1, "sll": 1, "srl": 1, "sra": 1,
+    "slt": 1, "sle": 1, "seq": 1, "sne": 1, "min": 1, "max": 1,
+}
+for _n, _lat in _INT_RR.items():
+    _add(_n, ("sd", "ss", "ss"), "arith", _lat)
+
+_INT_RI = {
+    "addi": 1, "muli": 3, "andi": 1, "ori": 1, "xori": 1,
+    "slli": 1, "srli": 1, "srai": 1, "slti": 1,
+}
+for _n, _lat in _INT_RI.items():
+    _add(_n, ("sd", "ss", "imm"), "arith", _lat)
+
+_add("li", ("sd", "imm"), "arith", 1)
+_add("nop", (), "arith", 1)
+
+# --------------------------------------------------------------------------
+# Scalar floating point
+# --------------------------------------------------------------------------
+
+for _n, _lat in {"fadd": 3, "fsub": 3, "fmul": 4, "fdiv": 12,
+                 "fmin": 2, "fmax": 2}.items():
+    _add(_n, ("fd", "fs", "fs"), "arith", _lat)
+for _n, _lat in {"fsqrt": 16, "fabs": 1, "fneg": 1, "fmv": 1}.items():
+    _add(_n, ("fd", "fs"), "arith", _lat)
+for _n in ("feq", "flt", "fle"):
+    _add(_n, ("sd", "fs", "fs"), "arith", 2)
+_add("fli", ("fd", "imm"), "arith", 1)       # load FP immediate
+_add("itof", ("fd", "ss"), "arith", 2)       # int -> fp convert
+_add("ftoi", ("sd", "fs"), "arith", 2)       # fp -> int convert (truncate)
+
+# --------------------------------------------------------------------------
+# Scalar memory (address-gen latency; cache latency added by memory model)
+# --------------------------------------------------------------------------
+
+_add("ld", ("sd", "mem"), "mem", 1, is_load=True)
+_add("st", ("ss", "mem"), "mem", 1, is_store=True)
+_add("fld", ("fd", "mem"), "mem", 1, is_load=True)
+_add("fst", ("fs", "mem"), "mem", 1, is_store=True)
+
+# --------------------------------------------------------------------------
+# Control flow
+# --------------------------------------------------------------------------
+
+for _n in ("beq", "bne", "blt", "bge"):
+    _add(_n, ("ss", "ss", "label"), "arith", 1, is_branch=True)
+_add("j", ("label",), "arith", 1, is_branch=True, is_uncond=True)
+_add("jal", ("sd", "label"), "arith", 1, is_branch=True, is_uncond=True)
+_add("jr", ("ss",), "arith", 1, is_branch=True, is_uncond=True)
+_add("halt", (), "none", 1, is_halt=True)
+
+# --------------------------------------------------------------------------
+# Vector length control
+# --------------------------------------------------------------------------
+
+# vl = min(max(rs, 0), MVL); rd receives the resulting vl (strip-mining idiom)
+_add("setvl", ("sd", "ss"), "arith", 1, writes_vl=True)
+
+# --------------------------------------------------------------------------
+# Vector integer arithmetic
+# --------------------------------------------------------------------------
+
+_VINT = {
+    "vadd": 2, "vsub": 2, "vmul": 4, "vdiv": 12, "vrem": 12,
+    "vand": 2, "vor": 2, "vxor": 2, "vsll": 2, "vsrl": 2, "vsra": 2,
+    "vmin": 2, "vmax": 2,
+}
+for _n, _lat in _VINT.items():
+    _add(f"{_n}.vv", ("vd", "vs", "vs"), "varith", _lat,
+         is_vector=True, allow_mask=True)
+    _add(f"{_n}.vs", ("vd", "vs", "ss"), "varith", _lat,
+         is_vector=True, allow_mask=True)
+_add("vrsub.vs", ("vd", "vs", "ss"), "varith", 2,
+     is_vector=True, allow_mask=True)  # scalar - vector
+
+# --------------------------------------------------------------------------
+# Vector floating-point arithmetic
+# --------------------------------------------------------------------------
+
+_VFP = {"vfadd": 3, "vfsub": 3, "vfmul": 4, "vfdiv": 12,
+        "vfmin": 3, "vfmax": 3}
+for _n, _lat in _VFP.items():
+    _add(f"{_n}.vv", ("vd", "vs", "vs"), "varith", _lat,
+         is_vector=True, allow_mask=True)
+    _add(f"{_n}.vs", ("vd", "vs", "fs"), "varith", _lat,
+         is_vector=True, allow_mask=True)
+_add("vfrsub.vs", ("vd", "vs", "fs"), "varith", 3,
+     is_vector=True, allow_mask=True)
+for _n, _lat in {"vfsqrt": 16, "vfneg": 3, "vfabs": 3}.items():
+    _add(f"{_n}.v", ("vd", "vs"), "varith", _lat,
+         is_vector=True, allow_mask=True)
+_add("vitof.v", ("vd", "vs"), "varith", 3, is_vector=True, allow_mask=True)
+_add("vftoi.v", ("vd", "vs"), "varith", 3, is_vector=True, allow_mask=True)
+_add("vmv.v", ("vd", "vs"), "varith", 2, is_vector=True, allow_mask=True)
+_add("vmv.s", ("vd", "ss"), "varith", 2, is_vector=True, allow_mask=True)  # splat
+_add("vfmv.s", ("vd", "fs"), "varith", 2, is_vector=True, allow_mask=True)  # splat fp
+
+# --------------------------------------------------------------------------
+# Vector compares (write the mask register) and mask-consuming ops
+# --------------------------------------------------------------------------
+
+for _n in ("vseq", "vsne", "vslt", "vsle"):
+    _add(f"{_n}.vv", ("vmd", "vs", "vs"), "varith", 2,
+         is_vector=True, writes_mask=True)
+    _add(f"{_n}.vs", ("vmd", "vs", "ss"), "varith", 2,
+         is_vector=True, writes_mask=True)
+for _n in ("vfeq", "vflt", "vfle"):
+    _add(f"{_n}.vv", ("vmd", "vs", "vs"), "varith", 3,
+         is_vector=True, writes_mask=True)
+    _add(f"{_n}.vs", ("vmd", "vs", "fs"), "varith", 3,
+         is_vector=True, writes_mask=True)
+
+# vmerge: dst[i] = mask[i] ? src1[i] : src2[i]
+_add("vmerge.vv", ("vd", "vs", "vs"), "varith", 2,
+     is_vector=True, reads_mask=True)
+_add("vmerge.vs", ("vd", "vs", "ss"), "varith", 2,
+     is_vector=True, reads_mask=True)
+_add("vfmerge.vs", ("vd", "vs", "fs"), "varith", 3,
+     is_vector=True, reads_mask=True)
+
+_add("vmpop", ("sd",), "varith", 4, is_vector=True, reads_mask=True)
+_add("vmfirst", ("sd",), "varith", 4, is_vector=True, reads_mask=True)
+_add("viota.m", ("vd",), "varith", 8, is_vector=True, reads_mask=True)
+_add("vid.v", ("vd",), "varith", 2, is_vector=True, allow_mask=True)
+# pack the mask-active elements of the source densely into the low
+# elements of the destination (classic sparse/conditional-loop support)
+_add("vcompress.m", ("vd", "vs"), "varith", 8,
+     is_vector=True, reads_mask=True)
+
+# --------------------------------------------------------------------------
+# Vector reductions (vector source -> scalar destination)
+# --------------------------------------------------------------------------
+
+for _n in ("vredsum", "vredmin", "vredmax"):
+    _add(_n, ("sd", "vs"), "varith", 8,
+         is_vector=True, is_reduction=True, allow_mask=True)
+for _n in ("vfredsum", "vfredmin", "vfredmax"):
+    _add(_n, ("fd", "vs"), "varith", 8,
+         is_vector=True, is_reduction=True, allow_mask=True)
+
+# --------------------------------------------------------------------------
+# Vector element insert / extract
+# --------------------------------------------------------------------------
+
+_add("vext", ("sd", "vs", "ss"), "varith", 4, is_vector=True)
+_add("vfext", ("fd", "vs", "ss"), "varith", 4, is_vector=True)
+_add("vins", ("vd", "ss", "ss"), "varith", 4, is_vector=True, dst_is_src=True)
+_add("vfins", ("vd", "fs", "ss"), "varith", 4, is_vector=True, dst_is_src=True)
+
+# --------------------------------------------------------------------------
+# Vector memory
+# --------------------------------------------------------------------------
+
+_add("vld", ("vd", "mem"), "vmem", 1,
+     is_vector=True, is_load=True, allow_mask=True)
+_add("vlds", ("vd", "mem", "ss"), "vmem", 1,
+     is_vector=True, is_load=True, allow_mask=True, mem_stride=True)
+_add("vldx", ("vd", "mem", "vs"), "vmem", 1,
+     is_vector=True, is_load=True, allow_mask=True, mem_indexed=True)
+_add("vst", ("vs", "mem"), "vmem", 1,
+     is_vector=True, is_store=True, allow_mask=True)
+_add("vsts", ("vs", "mem", "ss"), "vmem", 1,
+     is_vector=True, is_store=True, allow_mask=True, mem_stride=True)
+_add("vstx", ("vs", "mem", "vs"), "vmem", 1,
+     is_vector=True, is_store=True, allow_mask=True, mem_indexed=True)
+
+# --------------------------------------------------------------------------
+# Thread / VLT runtime
+# --------------------------------------------------------------------------
+
+_add("tid", ("sd",), "arith", 1)    # hardware thread id within the program
+_add("ntid", ("sd",), "arith", 1)   # number of threads in the program
+_add("barrier", (), "none", 1, is_barrier=True)
+_add("vltcfg", ("imm",), "none", 1, is_vltcfg=True)  # lanes repartitioned for n threads
+# scalar<->vector memory ordering fence: later scalar memory ops wait for
+# this thread's outstanding vector accesses ("compiler-generated memory
+# barriers", paper Section 2)
+_add("lsync", (), "none", 1, is_lsync=True)
+
+
+def spec(name: str) -> OpSpec:
+    """Look up an opcode, raising a helpful error for unknown mnemonics."""
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise KeyError(f"unknown opcode {name!r}") from None
+
+
+def all_opcodes() -> Tuple[str, ...]:
+    """All canonical mnemonics, in registration order."""
+    return tuple(OPCODES)

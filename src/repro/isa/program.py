@@ -1,0 +1,204 @@
+"""Program representation: instructions, labels, and the data image.
+
+A :class:`Program` is the unit handed to the functional simulator: a flat
+list of :class:`Instr`, a symbol table for its statically-allocated data,
+and the initial memory image.  Programs are SPMD -- every software thread
+executes the same instruction stream from pc 0 and differentiates itself
+via the ``tid``/``ntid`` instructions, exactly like the paper's
+OpenMP-style workloads (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .opcodes import OpSpec, spec
+from .registers import VL, VM, Reg, reg_name
+
+#: A memory operand: (byte offset, base scalar register).
+MemOperand = Tuple[int, Reg]
+
+
+class Instr:
+    """One decoded instruction.
+
+    Instances are immutable in practice (the simulators never mutate
+    them) but are plain slotted objects for speed.  ``target`` holds the
+    label string until :meth:`Program.finalize` resolves it to a pc.
+    """
+
+    __slots__ = ("op", "spec", "dst", "srcs", "imm", "mem", "stride",
+                 "vidx", "target", "masked", "pc")
+
+    def __init__(
+        self,
+        op: str,
+        dst: Optional[Reg] = None,
+        srcs: Tuple[Reg, ...] = (),
+        imm: Union[int, float, None] = None,
+        mem: Optional[MemOperand] = None,
+        stride: Optional[Reg] = None,
+        vidx: Optional[Reg] = None,
+        target: Union[int, str, None] = None,
+        masked: bool = False,
+    ):
+        self.op = op
+        self.spec: OpSpec = spec(op)
+        if masked and not self.spec.allow_mask:
+            raise ValueError(f"opcode {op!r} does not support a .m mask suffix")
+        self.dst = dst
+        self.srcs = srcs
+        self.imm = imm
+        self.mem = mem
+        self.stride = stride  # scalar stride register for vlds/vsts
+        self.vidx = vidx      # vector index register for vldx/vstx
+        self.target = target
+        self.masked = masked
+        self.pc = -1
+
+    # -- dependence helpers -------------------------------------------------
+
+    def reads(self) -> Tuple[Reg, ...]:
+        """All architectural registers this instruction reads.
+
+        Includes implicit reads: the mask register for masked /
+        mask-consuming ops, ``vl`` for every vector op, the memory base
+        register, and the destination for read-modify-write ops.
+        """
+        s = self.spec
+        regs: List[Reg] = list(self.srcs)
+        if self.mem is not None:
+            regs.append(self.mem[1])
+        if self.stride is not None:
+            regs.append(self.stride)
+        if self.vidx is not None:
+            regs.append(self.vidx)
+        if s.dst_is_src and self.dst is not None:
+            regs.append(self.dst)
+        if s.is_vector:
+            regs.append(VL)
+        if self.masked or s.reads_mask:
+            regs.append(VM)
+        return tuple(regs)
+
+    def writes(self) -> Tuple[Reg, ...]:
+        """All architectural registers this instruction writes."""
+        s = self.spec
+        regs: List[Reg] = []
+        if self.dst is not None:
+            regs.append(self.dst)
+        if s.writes_mask:
+            regs.append(VM)
+        if s.writes_vl:
+            regs.append(VL)
+        return tuple(regs)
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        """Render back to assembly syntax (used by the disassembler)."""
+        name = self.op + (".m" if self.masked else "")
+        parts: List[str] = []
+        sig = self.spec.sig
+        dst_done = False
+        mem_seen = False
+        src_iter = iter(self.srcs)
+        for kind in sig:
+            if kind in ("sd", "fd", "vd") and not dst_done:
+                parts.append(reg_name(self.dst))
+                dst_done = True
+            elif kind == "vmd":
+                dst_done = True  # implicit vm destination, not printed
+            elif kind in ("ss", "fs", "vs"):
+                # the index/stride operand is the one *after* the memory
+                # operand in the signature
+                if kind == "vs" and self.spec.mem_indexed and mem_seen:
+                    parts.append(reg_name(self.vidx))
+                elif kind == "ss" and self.spec.mem_stride and mem_seen:
+                    parts.append(reg_name(self.stride))
+                else:
+                    parts.append(reg_name(next(src_iter)))
+            elif kind == "imm":
+                parts.append(repr(self.imm))
+            elif kind == "mem":
+                off, base = self.mem
+                parts.append(f"{off}({reg_name(base)})")
+                mem_seen = True
+            elif kind == "label":
+                parts.append(str(self.target))
+        return f"{name} " + ", ".join(parts) if parts else name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Instr pc={self.pc} {self.render()}>"
+
+
+@dataclass
+class DataSymbol:
+    """A named, statically-allocated region of the data image."""
+
+    name: str
+    addr: int
+    nbytes: int
+    dtype: str  # "i8" | "f8" | "raw"
+
+
+@dataclass
+class Program:
+    """A finalized SPMD program: instructions + labels + data image."""
+
+    name: str = "program"
+    instrs: List[Instr] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    symbols: Dict[str, DataSymbol] = field(default_factory=dict)
+    #: (address, int64-or-float64 ndarray) initial-value pairs.
+    initializers: List[Tuple[int, np.ndarray]] = field(default_factory=list)
+    #: Total bytes of data memory the program needs.
+    memory_bytes: int = 1 << 16
+    finalized: bool = False
+
+    def finalize(self) -> "Program":
+        """Assign pcs, resolve label targets, and validate."""
+        for pc, ins in enumerate(self.instrs):
+            ins.pc = pc
+        for ins in self.instrs:
+            if isinstance(ins.target, str):
+                if ins.target not in self.labels:
+                    raise ValueError(
+                        f"undefined label {ins.target!r} at pc {ins.pc}")
+                ins.target = self.labels[ins.target]
+        if not self.instrs or not any(i.spec.is_halt for i in self.instrs):
+            raise ValueError(f"program {self.name!r} has no halt instruction")
+        self.finalized = True
+        return self
+
+    def symbol_addr(self, name: str) -> int:
+        """Byte address of a data symbol."""
+        return self.symbols[name].addr
+
+    def build_memory(self) -> np.ndarray:
+        """Materialise the initial data image as a byte array."""
+        mem = np.zeros(self.memory_bytes, dtype=np.uint8)
+        for addr, arr in self.initializers:
+            raw = np.ascontiguousarray(arr).view(np.uint8).reshape(-1)
+            if addr + raw.nbytes > self.memory_bytes:
+                raise ValueError("initializer exceeds program memory size")
+            mem[addr:addr + raw.nbytes] = raw
+        return mem
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def listing(self) -> str:
+        """Human-readable program listing with labels interleaved."""
+        by_pc: Dict[int, List[str]] = {}
+        for lbl, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(lbl)
+        out: List[str] = []
+        for pc, ins in enumerate(self.instrs):
+            for lbl in by_pc.get(pc, ()):
+                out.append(f"{lbl}:")
+            out.append(f"    {ins.render()}")
+        return "\n".join(out)

@@ -1,0 +1,149 @@
+"""Register-file specification for the X1-flavoured VLT ISA.
+
+The simulated machine exposes four architectural register classes,
+mirroring the Cray X1 register model the paper builds on (Section 6,
+Table 3):
+
+* ``s0``-``s31`` -- 64-bit scalar integer/address registers.  ``s0`` is
+  hard-wired to zero, which gives the assembler a free source of the
+  constant 0 and an unconditional-branch idiom (``beq s0, s0, label``).
+* ``f0``-``f31`` -- 64-bit scalar floating-point registers.
+* ``v0``-``v31`` -- vector registers of :data:`MVL` 64-bit elements each.
+  Elements are distributed round-robin across the vector lanes by the
+  timing model; the architectural view here is a flat array.
+* ``vm``        -- a single vector mask register of :data:`MVL` bits.
+
+In addition there is the vector-length register ``vl`` written by
+``setvl`` and read implicitly by every vector instruction.
+
+Registers are identified throughout the code base by a ``(class, index)``
+pair, where *class* is one of the single-character strings in
+:data:`REG_CLASSES`.  For dependence tracking the timing simulator wants
+a dense integer namespace, provided by :func:`reg_uid`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Number of registers in each of the s/f/v classes.
+NUM_SREGS = 32
+NUM_FREGS = 32
+NUM_VREGS = 32
+
+#: Maximum vector length in 64-bit elements (Cray X1: 64 elements/register).
+MVL = 64
+
+#: Bytes per architectural word / vector element.
+WORD_BYTES = 8
+
+#: Valid register-class tags.
+REG_CLASSES = ("s", "f", "v", "vm", "vl")
+
+#: A register operand: ("s"|"f"|"v"|"vm"|"vl", index).
+Reg = Tuple[str, int]
+
+# Dense unique-id layout used by the dependence trackers.
+_S_BASE = 0
+_F_BASE = NUM_SREGS
+_V_BASE = NUM_SREGS + NUM_FREGS
+_VM_UID = _V_BASE + NUM_VREGS
+_VL_UID = _VM_UID + 1
+
+#: Total number of distinct register uids (per hardware thread context).
+NUM_REG_UIDS = _VL_UID + 1
+
+
+def sreg(i: int) -> Reg:
+    """Return the scalar integer register operand ``s{i}``."""
+    if not 0 <= i < NUM_SREGS:
+        raise ValueError(f"scalar register index out of range: {i}")
+    return ("s", i)
+
+
+def freg(i: int) -> Reg:
+    """Return the scalar floating-point register operand ``f{i}``."""
+    if not 0 <= i < NUM_FREGS:
+        raise ValueError(f"fp register index out of range: {i}")
+    return ("f", i)
+
+
+def vreg(i: int) -> Reg:
+    """Return the vector register operand ``v{i}``."""
+    if not 0 <= i < NUM_VREGS:
+        raise ValueError(f"vector register index out of range: {i}")
+    return ("v", i)
+
+
+#: The vector mask register operand.
+VM: Reg = ("vm", 0)
+
+#: The vector-length register operand.
+VL: Reg = ("vl", 0)
+
+
+def reg_uid(reg: Reg) -> int:
+    """Map a register operand to a dense integer id.
+
+    The id space is ``[0, NUM_REG_UIDS)`` and is *per hardware context*:
+    two SMT contexts each have their own full namespace.
+    """
+    cls, idx = reg
+    if cls == "s":
+        return _S_BASE + idx
+    if cls == "f":
+        return _F_BASE + idx
+    if cls == "v":
+        return _V_BASE + idx
+    if cls == "vm":
+        return _VM_UID
+    if cls == "vl":
+        return _VL_UID
+    raise ValueError(f"unknown register class: {cls!r}")
+
+
+#: Public uid-space landmarks (see :func:`reg_uid`).
+S_BASE = _S_BASE
+F_BASE = _F_BASE
+V_BASE = _V_BASE
+VM_UID = _VM_UID
+VL_UID = _VL_UID
+
+
+def uid_is_scalar(uid: int) -> bool:
+    """True when a register uid lives on the scalar-unit side.
+
+    Scalar integer/FP registers and the vector-length register (written
+    by ``setvl`` in the SU) are scalar-side; ``v*`` and ``vm`` live in
+    the lanes.
+    """
+    return uid < _V_BASE or uid == _VL_UID
+
+
+def reg_name(reg: Reg) -> str:
+    """Render a register operand in assembly syntax (``s3``, ``v12``, ``vm``)."""
+    cls, idx = reg
+    if cls in ("vm", "vl"):
+        return cls
+    return f"{cls}{idx}"
+
+
+def parse_reg(text: str) -> Reg:
+    """Parse assembly syntax (``s3``, ``f0``, ``v31``, ``vm``, ``vl``) to an operand."""
+    text = text.strip()
+    if text == "vm":
+        return VM
+    if text == "vl":
+        return VL
+    if len(text) >= 2 and text[0] in "sfv" and text[1:].isdigit():
+        idx = int(text[1:])
+        limit = {"s": NUM_SREGS, "f": NUM_FREGS, "v": NUM_VREGS}[text[0]]
+        if not 0 <= idx < limit:
+            raise ValueError(f"register index out of range: {text!r}")
+        return (text[0], idx)
+    raise ValueError(f"malformed register name: {text!r}")
+
+
+def is_vector_reg(reg: Reg) -> bool:
+    """True for ``v*`` and ``vm`` operands (operands living in the lanes)."""
+    return reg[0] in ("v", "vm")

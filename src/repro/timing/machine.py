@@ -1,0 +1,251 @@
+"""Top-level machine model: wiring, barriers, and the simulation loop.
+
+:class:`Machine` instantiates the configured scalar units, the vector
+unit (statically partitioned across the software threads for VLT runs)
+or the lanes-as-scalar-cores, and the shared banked L2, then replays the
+per-thread dynamic traces cycle by cycle.  Barrier synchronisation is
+enforced here: a thread arriving at a ``barrier`` stops fetching; when
+the last thread arrives, every waiter resumes after the configured
+barrier overhead (the paper's "thread API overhead").
+
+The loop skips ahead over globally-idle stretches (all units waiting on
+a known future time), which makes barrier-imbalanced and memory-bound
+phases cheap to simulate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..functional.trace import DynOp, ProgramTrace
+from .config import MachineConfig
+from .l2 import BankedL2
+from .lane_core import LaneCore
+from .scalar_unit import ScalarUnit
+from .stats import DatapathUtilization, RunResult
+from .vcl import VectorUnit
+
+_FAR_FUTURE = 1 << 62
+
+
+class SimulationError(Exception):
+    """Raised when a run exceeds its cycle budget (likely a model bug)."""
+
+
+class Machine:
+    """A configured machine replaying one multi-threaded program trace."""
+
+    def __init__(self, cfg: MachineConfig, traces: List[List[DynOp]],
+                 max_cycles: int = 50_000_000, hook=None):
+        self.cfg = cfg
+        self.num_threads = len(traces)
+        self.max_cycles = max_cycles
+        #: optional event hook ``hook(cycle, unit, kind, dynop)`` --
+        #: see :mod:`repro.timing.pipeview`
+        self.hook = hook
+        self.l2 = BankedL2(cfg.l2)
+        self.sus: List[ScalarUnit] = [
+            ScalarUnit(self, i, su_cfg, self.l2)
+            for i, su_cfg in enumerate(cfg.scalar_units)]
+        self.lane_cores: List[LaneCore] = []
+        self.vu: Optional[VectorUnit] = None
+        #: tid -> ("su", ScalarUnit, Context) or ("lane", LaneCore, None)
+        self._threads: Dict[int, Tuple] = {}
+        self._finish: List[Optional[int]] = [None] * self.num_threads
+        self._halted_count = 0
+        self._barrier_arrived = 0
+        self._barrier_latest = 0
+        self.barrier_count = 0
+        self.barrier_release_cycles: List[int] = []
+
+        # Code is loader-resident in the L2: pre-touch its lines so
+        # I-cache refills cost an L2 hit, not a cold main-memory miss
+        # (the paper measures steady-state regions).
+        max_pc = max((max(op.pc for op in t) if t else 0) for t in traces) \
+            if traces else 0
+        from .scalar_unit import CODE_BASE, INSTR_BYTES
+        line = cfg.l2.line
+        for addr in range(CODE_BASE, CODE_BASE + (max_pc + 1) * INSTR_BYTES
+                          + line, line):
+            self.l2.tags.access(addr)
+
+        if cfg.lane_scalar_mode:
+            self.lane_cores = [
+                LaneCore(self, i, cfg.lane_core, self.l2)
+                for i in range(cfg.vu.lanes)]
+            for tid, (lane, _) in enumerate(cfg.placement(self.num_threads)):
+                core = self.lane_cores[lane]
+                core.add_thread(tid, traces[tid])
+                self._threads[tid] = ("lane", core, None)
+        else:
+            if cfg.vu is not None:
+                line = cfg.l2.line
+                self.vu = VectorUnit(
+                    cfg.vu, self.l2, cfg.lane_partitions(self.num_threads),
+                    hook=hook,
+                    invalidate=lambda addrs: self.l1d_invalidate_lines(
+                        addrs, line))
+            for tid, (u, _ctx) in enumerate(cfg.placement(self.num_threads)):
+                ctx = self.sus[u].add_thread(tid, traces[tid])
+                self._threads[tid] = ("su", self.sus[u], ctx)
+
+    # -- barrier / completion callbacks -----------------------------------------
+
+    def barrier_arrive(self, tid: int, time: int) -> None:
+        self._barrier_arrived += 1
+        if time > self._barrier_latest:
+            self._barrier_latest = time
+        if self._barrier_arrived == self.num_threads:
+            release = self._barrier_latest + self.cfg.barrier_overhead
+            self._barrier_arrived = 0
+            self._barrier_latest = 0
+            self.barrier_count += 1
+            self.barrier_release_cycles.append(release)
+            for kind, unit, ctx in self._threads.values():
+                if kind == "su":
+                    if ctx.waiting_barrier:
+                        ctx.waiting_barrier = False
+                        if release > ctx.fetch_stalled_until:
+                            ctx.fetch_stalled_until = release
+                else:
+                    if unit.waiting_barrier:
+                        unit.resume(release)
+
+    def thread_halted(self, tid: int, time: int) -> None:
+        if self._finish[tid] is None:
+            self._finish[tid] = time
+            self._halted_count += 1
+
+    def l1d_invalidate(self, addr: int, except_su=None) -> None:
+        """Coherence: drop the L1D line holding ``addr`` everywhere but
+        the writing SU (the hardware L1/L2 coherence of Section 2)."""
+        for su in self.sus:
+            if su is not except_su:
+                su.l1d.invalidate(addr)
+
+    def l1d_invalidate_lines(self, addrs, line: int) -> None:
+        """Vector-store coherence: invalidate every touched line in all
+        SU L1Ds (vector stores write the L2 directly)."""
+        if not self.sus:
+            return
+        seen = set()
+        for a in addrs:
+            ln = int(a) // line
+            if ln not in seen:
+                seen.add(ln)
+                for su in self.sus:
+                    su.l1d.invalidate(ln * line)
+
+    def vltcfg_request(self, tid: int, n: int, cycle: int) -> None:
+        """Dynamic VLT reconfiguration (``vltcfg n``; Section 3.3).
+
+        ``n = 0`` means "one partition per software thread" (the static
+        default).  All threads of an SPMD program execute the same
+        ``vltcfg`` in the same barrier-delimited phase; the first
+        arrival repartitions, the rest are no-ops.
+        """
+        if self.vu is None:
+            return
+        if n == 0:
+            n = self.num_threads
+        self.vu.repartition(n, cycle)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        cycle = 0
+        sus = self.sus
+        vu = self.vu
+        cores = self.lane_cores
+        while True:
+            vu_busy = vu is not None and vu.busy(cycle)
+            for su in sus:
+                su.step(cycle)
+            if vu_busy:
+                vu.step(cycle)
+                # steps may have dispatched new vector work this cycle
+                vu_busy = vu.busy(cycle)
+            elif vu is not None:
+                vu_busy = vu.busy(cycle)
+            for core in cores:
+                core.step(cycle)
+
+            if self._halted_count == self.num_threads:
+                drained = all(su.all_done or not su.contexts for su in sus)
+                if drained and not vu_busy:
+                    break
+
+            nxt = cycle + 1
+            best = _FAR_FUTURE
+            for su in sus:
+                t = su.next_event(cycle)
+                if t < best:
+                    best = t
+            if vu_busy:
+                best = nxt
+            for core in cores:
+                t = core.next_event(cycle)
+                if t < best:
+                    best = t
+            if best > nxt and best < _FAR_FUTURE:
+                cycle = best
+            elif best >= _FAR_FUTURE and self._halted_count < self.num_threads:
+                raise SimulationError(
+                    f"{self.cfg.name}: no unit can make progress at cycle "
+                    f"{cycle} with {self.num_threads - self._halted_count} "
+                    f"threads unfinished (model deadlock)")
+            else:
+                cycle = nxt
+            if cycle > self.max_cycles:
+                raise SimulationError(
+                    f"{self.cfg.name}: exceeded {self.max_cycles} cycles")
+
+        return self._result(cycle)
+
+    # -- result assembly ---------------------------------------------------------------
+
+    def _result(self, cycles: int) -> RunResult:
+        util = DatapathUtilization()
+        vu_stats = None
+        if self.vu is not None:
+            vu_stats = self.vu.stats
+            u = self.vu.util
+            total = self.cfg.vu.arith_fus * self.cfg.vu.lanes * cycles
+            util = DatapathUtilization(
+                busy=u.busy, partly_idle=u.partly_idle, stalled=u.stalled,
+                all_idle=max(0, total - u.busy - u.partly_idle - u.stalled))
+        su_stats = []
+        for su in self.sus:
+            s = su.stats
+            s.branch_lookups = su.bpred.lookups
+            s.branch_mispredicts = su.bpred.mispredicts
+            s.l1i_accesses = su.l1i.stats.accesses
+            s.l1i_misses = su.l1i.stats.misses
+            s.l1d_accesses = su.l1d.stats.accesses
+            s.l1d_misses = su.l1d.stats.misses
+            su_stats.append(s)
+        return RunResult(
+            config_name=self.cfg.name,
+            program_name="",
+            num_threads=self.num_threads,
+            cycles=cycles,
+            utilization=util,
+            scalar_units=su_stats,
+            vector_unit=vu_stats,
+            lane_cores=[c.stats for c in self.lane_cores],
+            thread_finish=[f if f is not None else cycles
+                           for f in self._finish],
+            barrier_count=self.barrier_count,
+            l2_bank_conflict_cycles=self.l2.stats.bank_conflict_cycles,
+            phase_release_cycles=list(self.barrier_release_cycles),
+        )
+
+
+def run_traces(cfg: MachineConfig, trace: ProgramTrace,
+               max_cycles: int = 50_000_000) -> RunResult:
+    """Replay a functional :class:`ProgramTrace` on configuration ``cfg``."""
+    machine = Machine(cfg, [t.ops for t in trace.threads],
+                      max_cycles=max_cycles)
+    result = machine.run()
+    result.program_name = trace.program_name
+    return result

@@ -1,0 +1,122 @@
+"""Pipeline-event viewer: see what the machine issues, cycle by cycle.
+
+Attach a :class:`PipeView` to a simulation to record issue events from
+every unit (scalar-unit contexts, vector-unit partitions, lane cores)
+and render them as a chronological listing or a per-unit occupancy
+strip -- handy for debugging kernels and for teaching what the timing
+model does::
+
+    from repro.timing.pipeview import PipeView, simulate_with_pipeview
+
+    view, result = simulate_with_pipeview(prog, BASE, num_threads=1,
+                                          max_events=200)
+    print(view.listing())
+    print(view.strip(width=64))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..functional.trace import DynOp
+from ..isa.program import Program
+from .config import MachineConfig
+from .machine import Machine
+from .run import trace_for
+from .stats import RunResult
+
+
+@dataclass
+class PipeEvent:
+    cycle: int
+    unit: str
+    kind: str     # "issue" (scalar/lane) or "vissue" (vector)
+    op: str
+    pc: int
+    vl: int
+
+
+class PipeView:
+    """Bounded collector of pipeline issue events."""
+
+    def __init__(self, max_events: int = 1000,
+                 start_cycle: int = 0):
+        self.max_events = max_events
+        self.start_cycle = start_cycle
+        self.events: List[PipeEvent] = []
+        self._full = False
+
+    # the Machine hook signature
+    def __call__(self, cycle: int, unit: str, kind: str,
+                 dynop: DynOp) -> None:
+        if self._full or cycle < self.start_cycle:
+            return
+        self.events.append(PipeEvent(cycle, unit, kind, dynop.op,
+                                     dynop.pc, dynop.vl))
+        if len(self.events) >= self.max_events:
+            self._full = True
+
+    @property
+    def truncated(self) -> bool:
+        return self._full
+
+    def units(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.unit)
+        return sorted(seen)
+
+    # -- renderings ----------------------------------------------------------
+
+    def listing(self, limit: Optional[int] = None) -> str:
+        """Chronological event log."""
+        rows = ["cycle  unit        event   op"]
+        for e in self.events[:limit]:
+            extra = f" vl={e.vl}" if e.kind == "vissue" else ""
+            rows.append(f"{e.cycle:>5}  {e.unit:<10}  {e.kind:<6}  "
+                        f"{e.op}{extra} (pc {e.pc})")
+        if self.truncated:
+            rows.append(f"... truncated at {self.max_events} events")
+        return "\n".join(rows)
+
+    def strip(self, width: int = 72) -> str:
+        """Per-unit occupancy strip: one character per cycle.
+
+        ``#`` = at least one issue that cycle, ``.`` = none.  The window
+        starts at the first recorded event.
+        """
+        if not self.events:
+            return "(no events)"
+        t0 = self.events[0].cycle
+        issued: Dict[str, set] = {}
+        for e in self.events:
+            issued.setdefault(e.unit, set()).add(e.cycle - t0)
+        out = [f"cycles {t0}..{t0 + width - 1} (one column per cycle)"]
+        for unit in self.units():
+            cells = issued.get(unit, set())
+            row = "".join("#" if c in cells else "."
+                          for c in range(width))
+            out.append(f"{unit:<10} |{row}|")
+        return "\n".join(out)
+
+    def issues_per_cycle(self) -> Dict[int, int]:
+        """Issue-count histogram keyed by cycle."""
+        hist: Dict[int, int] = {}
+        for e in self.events:
+            hist[e.cycle] = hist.get(e.cycle, 0) + 1
+        return hist
+
+
+def simulate_with_pipeview(
+        program: Program, cfg: MachineConfig, num_threads: int = 1,
+        max_events: int = 1000, start_cycle: int = 0,
+        max_cycles: int = 50_000_000) -> Tuple[PipeView, RunResult]:
+    """Run a simulation with an attached :class:`PipeView`."""
+    view = PipeView(max_events=max_events, start_cycle=start_cycle)
+    trace = trace_for(program, num_threads)
+    machine = Machine(cfg, [t.ops for t in trace.threads],
+                      max_cycles=max_cycles, hook=view)
+    result = machine.run()
+    result.program_name = trace.program_name
+    return view, result

@@ -1,0 +1,62 @@
+"""High-level simulation API: program -> functional trace -> timing result.
+
+This is the entry point most callers (examples, harness, tests) use::
+
+    from repro.timing import simulate
+    from repro.timing.config import BASE
+
+    result = simulate(program, BASE, num_threads=1)
+    print(result.cycles)
+
+Functional traces are deterministic for a given ``(program, num_threads)``
+pair, so :func:`trace_for` memoises them -- the experiment harness replays
+the same trace against many machine configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..functional.executor import Executor
+from ..functional.trace import ProgramTrace
+from ..isa.program import Program
+from .config import MachineConfig
+from .machine import run_traces
+from .stats import RunResult
+
+_trace_cache: Dict[Tuple[int, int], ProgramTrace] = {}
+
+
+def trace_for(program: Program, num_threads: int,
+              max_ops: int = 20_000_000) -> ProgramTrace:
+    """Functional trace of ``program`` with ``num_threads`` (memoised).
+
+    The cache key is the program object's identity -- workload builders
+    construct a fresh Program per parameter set, so identity is the right
+    equality here.
+    """
+    key = (id(program), num_threads)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+    ex = Executor(program, num_threads=num_threads, record_trace=True,
+                  max_ops=max_ops)
+    trace = ex.run()
+    _trace_cache[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop memoised functional traces (tests / memory hygiene)."""
+    _trace_cache.clear()
+
+
+def simulate(program: Program, cfg: MachineConfig, num_threads: int = 1,
+             max_cycles: int = 50_000_000,
+             trace: Optional[ProgramTrace] = None) -> RunResult:
+    """Run ``program`` on machine ``cfg`` and return timing results."""
+    if trace is None:
+        trace = trace_for(program, num_threads)
+    elif trace.num_threads != num_threads:
+        raise ValueError("supplied trace has a different thread count")
+    return run_traces(cfg, trace, max_cycles=max_cycles)

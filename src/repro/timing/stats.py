@@ -1,0 +1,127 @@
+"""Run statistics: cycle counts, per-unit counters, datapath utilization.
+
+The :class:`DatapathUtilization` bucket definitions follow Figure 4 of
+the paper exactly.  There are ``arith_fus * lanes`` arithmetic datapaths
+(24 in the base machine).  Every datapath-cycle is classified as:
+
+* ``busy``        -- executing an element operation,
+* ``partly_idle`` -- its FU is executing an instruction whose vector
+  length leaves this lane slot empty this cycle (short-VL waste),
+* ``stalled``     -- its FU is idle although vector instructions are
+  pending in the partition (dependences / issue bandwidth),
+* ``all_idle``    -- no vector work exists for its partition at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class DatapathUtilization:
+    """Datapath-cycle accounting across all lanes (Figure 4)."""
+
+    busy: int = 0
+    partly_idle: int = 0
+    stalled: int = 0
+    all_idle: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.partly_idle + self.stalled + self.all_idle
+
+    def fractions(self) -> Dict[str, float]:
+        t = self.total or 1
+        return {"busy": self.busy / t, "partly_idle": self.partly_idle / t,
+                "stalled": self.stalled / t, "all_idle": self.all_idle / t}
+
+    def merged(self, other: "DatapathUtilization") -> "DatapathUtilization":
+        return DatapathUtilization(
+            busy=self.busy + other.busy,
+            partly_idle=self.partly_idle + other.partly_idle,
+            stalled=self.stalled + other.stalled,
+            all_idle=self.all_idle + other.all_idle)
+
+
+@dataclass
+class ScalarUnitStats:
+    fetched: int = 0
+    issued: int = 0
+    committed: int = 0
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    fetch_stall_cycles: int = 0
+    dispatch_stall_viq: int = 0
+
+
+@dataclass
+class VectorUnitStats:
+    issued: int = 0
+    element_ops: int = 0
+    mem_instrs: int = 0
+    mem_elements: int = 0
+    viq_full_events: int = 0
+
+
+@dataclass
+class LaneCoreStats:
+    issued: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    load_stall_cycles: int = 0
+    branch_mispredicts: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything a timing-simulation run produces."""
+
+    config_name: str
+    program_name: str
+    num_threads: int
+    cycles: int
+    utilization: DatapathUtilization = field(default_factory=DatapathUtilization)
+    scalar_units: List[ScalarUnitStats] = field(default_factory=list)
+    vector_unit: Optional[VectorUnitStats] = None
+    lane_cores: List[LaneCoreStats] = field(default_factory=list)
+    thread_finish: List[int] = field(default_factory=list)
+    barrier_count: int = 0
+    l2_bank_conflict_cycles: int = 0
+    #: cycle of each barrier release -- phase boundaries for the
+    #: opportunity metric (Table 4)
+    phase_release_cycles: List[int] = field(default_factory=list)
+
+    def phase_durations(self) -> List[int]:
+        """Cycle count of each barrier-delimited phase (last phase ends
+        at program completion)."""
+        bounds = [0] + list(self.phase_release_cycles) + [self.cycles]
+        return [b - a for a, b in zip(bounds, bounds[1:])]
+
+    @property
+    def total_issued_scalar(self) -> int:
+        return sum(s.issued for s in self.scalar_units)
+
+    def summary(self) -> str:
+        lines = [
+            f"run {self.program_name} on {self.config_name} "
+            f"({self.num_threads} threads): {self.cycles} cycles",
+        ]
+        if self.vector_unit is not None:
+            vu = self.vector_unit
+            lines.append(
+                f"  vector: {vu.issued} instrs, {vu.element_ops} element ops")
+            fr = self.utilization.fractions()
+            lines.append(
+                "  datapaths: busy {busy:.1%}, partly-idle {partly_idle:.1%}, "
+                "stalled {stalled:.1%}, all-idle {all_idle:.1%}".format(**fr))
+        for i, s in enumerate(self.scalar_units):
+            lines.append(f"  SU{i}: fetched {s.fetched}, issued {s.issued}")
+        for i, s in enumerate(self.lane_cores):
+            if s.issued:
+                lines.append(f"  lane{i}: issued {s.issued}")
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""The nine applications of the paper's Table 4, self-checking.
+
+Importing this package registers every workload; use
+:func:`get_workload` / :func:`all_workload_names` to enumerate them.
+"""
+
+from .base import (VerificationError, Workload, all_workload_names,
+                   get_workload, register, reset_workload_instances)
+from .characteristics import (PAPER_TABLE4, AppCharacteristics,
+                              characterize, characterize_all)
+
+# Register all workloads.
+from . import mxm, sage, mpenc, trfd, multprec, bt, radix, ocean, barnes  # noqa: E402,F401
+
+__all__ = [
+    "VerificationError", "Workload", "all_workload_names", "get_workload",
+    "register", "reset_workload_instances", "PAPER_TABLE4",
+    "AppCharacteristics", "characterize", "characterize_all",
+]

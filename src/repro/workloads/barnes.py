@@ -1,0 +1,331 @@
+"""barnes -- Barnes-Hut galaxy simulation proxy (SPLASH-2)
+(Table 4: parallel but not vectorizable; 98% opportunity).
+
+The force-calculation phase of Barnes-Hut: every body walks a tree of
+mass cells and either accepts a cell's centre-of-mass approximation or
+*opens* the cell and visits its children through an index table (the
+pointer-chasing, branchy traversal that defeats vectorization).  Per
+interaction there is plenty of instruction-level parallelism -- the
+dx/dy/dz difference, square and accumulate chains are independent, and
+the acceptance test feeds a divide -- which is why barnes, unlike
+radix/ocean, gains nothing from trading two wide out-of-order cores for
+eight simple in-order lanes (Figure 6: VLT approximately equals CMT).
+
+Phases: centre-of-mass build (parallel over cells), force calculation
+(parallel over bodies), serial energy audit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional.executor import Executor
+from ..isa.builder import F, ProgramBuilder, S, V
+from ..isa.program import Program
+from .base import VerificationError, Workload, register
+from .common import (S0, counted_loop, emit_chunk, parallel_barrier,
+                     serial_section, spmd_prologue)
+
+NBODY = 96
+NCELL = 32          # top-level cells
+NCHILD = 2          # children per opened cell
+BODIES_PER_CELL = NBODY // NCELL
+OPEN_R2 = 0.08      # cells closer than this are opened
+EPS = 0.01
+
+
+@register
+class Barnes(Workload):
+    """Tree-walk force calculation with open/accept branching."""
+
+    name = "barnes"
+    vectorizable = False
+    parallel_phases = [True, True, False]
+
+    def build(self, scalar_only: bool = False) -> Program:
+        rng = np.random.default_rng(29)
+        pos = rng.random((NBODY, 3))
+        mass = 0.5 + rng.random(NBODY)
+        # children positions/masses: synthetic sub-cells of each cell
+        child_pos = rng.random((NCELL * NCHILD, 3))
+        child_mass = 0.25 + 0.5 * rng.random(NCELL * NCHILD)
+        self._pos, self._mass = pos, mass
+        self._child_pos, self._child_mass = child_pos, child_mass
+
+        b = ProgramBuilder("barnes", memory_kib=512)
+        b.data_f64("px", pos[:, 0]); b.data_f64("py", pos[:, 1])
+        b.data_f64("pz", pos[:, 2]); b.data_f64("m", mass)
+        b.data_f64("cx", NCELL); b.data_f64("cy", NCELL)
+        b.data_f64("cz", NCELL); b.data_f64("cm", NCELL)
+        b.data_f64("chx", child_pos[:, 0]); b.data_f64("chy", child_pos[:, 1])
+        b.data_f64("chz", child_pos[:, 2]); b.data_f64("chm", child_mass)
+        # child index table: cell c's children are chidx[2c], chidx[2c+1]
+        chidx = np.arange(NCELL * NCHILD, dtype=np.int64)
+        rng.shuffle(chidx)
+        self._chidx = chidx
+        b.data_i64("chidx", chidx)
+        b.data_f64("ax", NBODY); b.data_f64("ay", NBODY)
+        b.data_f64("az", NBODY)
+        b.data_f64("energy", 1)
+        spmd_prologue(b)
+
+        # ---- phase 1: cell centres of mass (parallel over cells) ----------
+        lo, hi, t0 = S(1), S(2), S(3)
+        emit_chunk(b, NCELL, lo, hi, t0)
+        cell = S(4)
+        with counted_loop(b, cell, hi, start=lo):
+            base = S(5)
+            b.op("muli", base, cell, BODIES_PER_CELL * 8)
+            sx, sy, sz, sm = F(1), F(2), F(3), F(4)
+            for f in (sx, sy, sz, sm):
+                b.op("fli", f, 0.0)
+            k, kend = S(6), S(7)
+            b.op("li", kend, BODIES_PER_CELL)
+            addr = S(8)
+            b.mv(addr, base)
+            with counted_loop(b, k, kend):
+                b.op("fld", F(5), (b.addr_of("px"), addr))
+                b.op("fld", F(6), (b.addr_of("py"), addr))
+                b.op("fld", F(7), (b.addr_of("pz"), addr))
+                b.op("fld", F(8), (b.addr_of("m"), addr))
+                b.op("fmul", F(5), F(5), F(8))
+                b.op("fmul", F(6), F(6), F(8))
+                b.op("fmul", F(7), F(7), F(8))
+                b.op("fadd", sx, sx, F(5))
+                b.op("fadd", sy, sy, F(6))
+                b.op("fadd", sz, sz, F(7))
+                b.op("fadd", sm, sm, F(8))
+                b.op("addi", addr, addr, 8)
+            ca = S(8)
+            b.op("slli", ca, cell, 3)
+            b.op("fdiv", F(5), sx, sm)
+            b.op("fst", F(5), (b.addr_of("cx"), ca))
+            b.op("fdiv", F(5), sy, sm)
+            b.op("fst", F(5), (b.addr_of("cy"), ca))
+            b.op("fdiv", F(5), sz, sm)
+            b.op("fst", F(5), (b.addr_of("cz"), ca))
+            b.op("fst", sm, (b.addr_of("cm"), ca))
+        parallel_barrier(b)
+
+        # ---- phase 2: force walk (parallel over bodies) --------------------
+        emit_chunk(b, NBODY, lo, hi, t0)
+        body = S(4)
+        with counted_loop(b, body, hi, start=lo):
+            ba = S(5)
+            b.op("slli", ba, body, 3)
+            bx, by, bz = F(1), F(2), F(3)
+            b.op("fld", bx, (b.addr_of("px"), ba))
+            b.op("fld", by, (b.addr_of("py"), ba))
+            b.op("fld", bz, (b.addr_of("pz"), ba))
+            # two accumulator triples: even-indexed cells fold into acc,
+            # odd-indexed into acc2 (merged at the end) so the two kick
+            # chains of a cell pair interleave on an in-order core
+            accx, accy, accz = F(4), F(5), F(6)
+            acc2x, acc2y, acc2z = F(23), F(24), F(25)
+            for f in (accx, accy, accz, acc2x, acc2y, acc2z):
+                b.op("fli", f, 0.0)
+            fopen = F(26)
+            b.op("fli", fopen, OPEN_R2)
+
+            pair, pend = S(6), S(7)
+            b.op("li", pend, NCELL // 2)
+            d0 = (F(7), F(8), F(9))      # cell 2p deltas
+            d1 = (F(15), F(16), F(17))   # cell 2p+1 deltas
+            r2_0, r2_1 = F(10), F(18)
+            m0, m1 = F(11), F(19)
+            with counted_loop(b, pair, pend):
+                ca = S(8)
+                b.op("slli", ca, pair, 4)       # byte offset of cell 2p
+                # load both cells' COM + mass up-front (8 decoupled loads)
+                b.op("fld", d0[0], (b.addr_of("cx"), ca))
+                b.op("fld", d0[1], (b.addr_of("cy"), ca))
+                b.op("fld", d0[2], (b.addr_of("cz"), ca))
+                b.op("fld", m0, (b.addr_of("cm"), ca))
+                b.op("fld", d1[0], (b.addr_of("cx") + 8, ca))
+                b.op("fld", d1[1], (b.addr_of("cy") + 8, ca))
+                b.op("fld", d1[2], (b.addr_of("cz") + 8, ca))
+                b.op("fld", m1, (b.addr_of("cm") + 8, ca))
+                for d, r2 in ((d0, r2_0), (d1, r2_1)):
+                    b.op("fsub", d[0], d[0], bx)
+                    b.op("fsub", d[1], d[1], by)
+                    b.op("fsub", d[2], d[2], bz)
+                t0f, t1f = F(12), F(20)
+                b.op("fmul", r2_0, d0[0], d0[0])
+                b.op("fmul", r2_1, d1[0], d1[0])
+                b.op("fmul", t0f, d0[1], d0[1])
+                b.op("fmul", t1f, d1[1], d1[1])
+                b.op("fadd", r2_0, r2_0, t0f)
+                b.op("fadd", r2_1, r2_1, t1f)
+                b.op("fmul", t0f, d0[2], d0[2])
+                b.op("fmul", t1f, d1[2], d1[2])
+                b.op("fadd", r2_0, r2_0, t0f)
+                b.op("fadd", r2_1, r2_1, t1f)
+
+                near0, near1 = S(9), S(10)
+                b.op("flt", near0, r2_0, fopen)
+                b.op("flt", near1, r2_1, fopen)
+                anyopen = S(11)
+                b.op("or", anyopen, near0, near1)
+                slow_lbl = b.genlabel("slow")
+                done_lbl = b.genlabel("pdone")
+                b.op("bne", anyopen, S0, slow_lbl)
+                # fast path: both accepted -- interleaved double kick
+                self._emit_kick_pair(b, d0, r2_0, m0, (accx, accy, accz),
+                                     d1, r2_1, m1, (acc2x, acc2y, acc2z))
+                b.op("j", done_lbl)
+                # slow path: handle each cell of the pair individually
+                b.label(slow_lbl)
+                for half, (d, r2, m, near, accs) in enumerate((
+                        (d0, r2_0, m0, near0, (accx, accy, accz)),
+                        (d1, r2_1, m1, near1, (acc2x, acc2y, acc2z)))):
+                    open_lbl = b.genlabel(f"open{half}")
+                    next_lbl = b.genlabel(f"next{half}")
+                    b.op("bne", near, S0, open_lbl)
+                    self._emit_kick(b, d[0], d[1], d[2], r2, m, *accs)
+                    b.op("j", next_lbl)
+                    b.label(open_lbl)
+                    # visit the two children through the index table
+                    ia = S(12)
+                    b.op("slli", ia, pair, 5)          # cell 2p * 16 bytes
+                    b.op("addi", ia, ia, half * 16)    # this cell's entry
+                    for ch in range(NCHILD):
+                        ci = S(13)
+                        b.op("ld", ci, (b.addr_of("chidx") + ch * 8, ia))
+                        b.op("slli", ci, ci, 3)
+                        b.op("fld", d[0], (b.addr_of("chx"), ci))
+                        b.op("fld", d[1], (b.addr_of("chy"), ci))
+                        b.op("fld", d[2], (b.addr_of("chz"), ci))
+                        b.op("fsub", d[0], d[0], bx)
+                        b.op("fsub", d[1], d[1], by)
+                        b.op("fsub", d[2], d[2], bz)
+                        b.op("fmul", r2, d[0], d[0])
+                        b.op("fld", m, (b.addr_of("chm"), ci))
+                        b.op("fmul", F(12), d[1], d[1])
+                        b.op("fadd", r2, r2, F(12))
+                        b.op("fmul", F(12), d[2], d[2])
+                        b.op("fadd", r2, r2, F(12))
+                        self._emit_kick(b, d[0], d[1], d[2], r2, m, *accs)
+                    b.label(next_lbl)
+                b.label(done_lbl)
+            b.op("fadd", accx, accx, acc2x)
+            b.op("fadd", accy, accy, acc2y)
+            b.op("fadd", accz, accz, acc2z)
+            b.op("fst", accx, (b.addr_of("ax"), ba))
+            b.op("fst", accy, (b.addr_of("ay"), ba))
+            b.op("fst", accz, (b.addr_of("az"), ba))
+        parallel_barrier(b)
+
+        # ---- phase 3: serial energy audit ----------------------------------
+        with serial_section(b):
+            acc = F(1)
+            b.op("fli", acc, 0.0)
+            i, iend = S(1), S(2)
+            b.op("li", iend, NBODY)
+            addr = S(3)
+            b.op("li", addr, 0)
+            with counted_loop(b, i, iend):
+                b.op("fld", F(2), (b.addr_of("ax"), addr))
+                b.op("fmul", F(2), F(2), F(2))
+                b.op("fadd", acc, acc, F(2))
+                b.op("fld", F(2), (b.addr_of("ay"), addr))
+                b.op("fmul", F(2), F(2), F(2))
+                b.op("fadd", acc, acc, F(2))
+                b.op("fld", F(2), (b.addr_of("az"), addr))
+                b.op("fmul", F(2), F(2), F(2))
+                b.op("fadd", acc, acc, F(2))
+                b.op("addi", addr, addr, 8)
+            b.op("li", S(4), b.addr_of("energy"))
+            b.op("fst", acc, (0, S(4)))
+        b.op("halt")
+        return b.build()
+
+    def _emit_kick_pair(self, b, d0, r20, m0, acc0, d1, r21, m1, acc1):
+        """Two independent kicks with interleaved chains (fast path).
+
+        Per-accumulator operation order is identical to
+        :meth:`_emit_kick`, so results are bit-exact with the reference;
+        only the interleaving across the two chains differs.
+        """
+        e0, e1 = F(13), F(21)
+        feps = F(14)
+        b.op("fli", feps, EPS)
+        b.op("fadd", r20, r20, feps)
+        b.op("fadd", r21, r21, feps)
+        b.op("fsqrt", e0, r20)
+        b.op("fsqrt", e1, r21)
+        b.op("fmul", e0, e0, r20)
+        b.op("fmul", e1, e1, r21)
+        b.op("fdiv", e0, m0, e0)
+        b.op("fdiv", e1, m1, e1)
+        t0, t1 = F(14), F(22)
+        for axis in range(3):
+            b.op("fmul", t0, d0[axis], e0)
+            b.op("fmul", t1, d1[axis], e1)
+            b.op("fadd", acc0[axis], acc0[axis], t0)
+            b.op("fadd", acc1[axis], acc1[axis], t1)
+
+    def _emit_kick(self, b, dx, dy, dz, r2, fm, accx, accy, accz):
+        """acc += m * d / ((r2+eps) * sqrt(r2+eps)) -- one divide, one sqrt."""
+        b.op("fli", F(13), EPS)
+        b.op("fadd", r2, r2, F(13))
+        b.op("fsqrt", F(13), r2)
+        b.op("fmul", F(13), F(13), r2)       # (r2+eps)^1.5
+        b.op("fdiv", F(13), fm, F(13))       # m / denom
+        b.op("fmul", F(14), dx, F(13))
+        b.op("fadd", accx, accx, F(14))
+        b.op("fmul", F(14), dy, F(13))
+        b.op("fadd", accy, accy, F(14))
+        b.op("fmul", F(14), dz, F(13))
+        b.op("fadd", accz, accz, F(14))
+
+    # ------------------------------------------------------------------
+
+    def _reference(self):
+        pos, mass = self._pos, self._mass
+        cpos = np.zeros((NCELL, 3))
+        cmass = np.zeros(NCELL)
+        for c in range(NCELL):
+            sl = slice(c * BODIES_PER_CELL, (c + 1) * BODIES_PER_CELL)
+            w = mass[sl]
+            cmass[c] = w.sum()
+            cpos[c] = (pos[sl] * w[:, None]).sum(axis=0) / cmass[c]
+        acc = np.zeros((NBODY, 3))
+
+        def kick(a, d, r2, m):
+            denom = (r2 + EPS) * np.sqrt(r2 + EPS)
+            return a + m * d / denom
+
+        for i in range(NBODY):
+            # even-indexed cells fold into one accumulator, odd-indexed
+            # into another, merged at the end (mirrors the simulator's
+            # interleaved pair schedule; per-accumulator order identical)
+            halves = [np.zeros(3), np.zeros(3)]
+            for c in range(NCELL):
+                a = halves[c & 1]
+                d = cpos[c] - pos[i]
+                r2 = (d * d).sum()
+                if r2 < OPEN_R2:
+                    for ch in range(NCHILD):
+                        ci = self._chidx[2 * c + ch]
+                        dd = self._child_pos[ci] - pos[i]
+                        rr2 = (dd * dd).sum()
+                        a = kick(a, dd, rr2, self._child_mass[ci])
+                else:
+                    a = kick(a, d, r2, cmass[c])
+                halves[c & 1] = a
+            acc[i] = halves[0] + halves[1]
+        energy = (acc ** 2).sum()
+        return acc, energy
+
+    def verify(self, ex: Executor, program: Program) -> None:
+        want_acc, want_e = self._reference()
+        mem = ex.mem
+        got = np.stack([
+            mem.read_f64_array(program.symbol_addr("ax"), NBODY),
+            mem.read_f64_array(program.symbol_addr("ay"), NBODY),
+            mem.read_f64_array(program.symbol_addr("az"), NBODY)], axis=1)
+        if not np.allclose(got, want_acc, rtol=1e-9):
+            raise VerificationError("barnes: accelerations mismatch")
+        got_e = mem.read_f64_array(program.symbol_addr("energy"), 1)[0]
+        if not np.isclose(got_e, want_e, rtol=1e-9):
+            raise VerificationError("barnes: energy mismatch")

@@ -1,0 +1,126 @@
+"""Workload abstraction and registry.
+
+Each paper application (Table 4) is a :class:`Workload` subclass that
+
+* builds a self-contained SPMD :class:`~repro.isa.program.Program`
+  (optionally in a ``scalar_only`` flavour for the lanes-as-cores
+  experiments, where the lane cores cannot execute vector instructions),
+* verifies its own results against a NumPy reference after functional
+  execution (the simulated kernels compute real answers), and
+* declares which barrier-delimited phases are parallel, which drives the
+  Table 4 "opportunity" metric.
+
+Programs are SPMD: the same binary runs with any supported thread count
+(``tid``/``ntid`` chunking), which is exactly how the VLT experiments
+vary thread counts across machine configurations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple, Type
+
+from ..functional.executor import Executor
+from ..isa.program import Program
+
+
+class VerificationError(AssertionError):
+    """A workload's simulated output does not match its reference."""
+
+
+class Workload(abc.ABC):
+    """One application from the paper's Table 4."""
+
+    #: canonical application name (Table 4 spelling)
+    name: str = ""
+    #: does the base (non-scalar_only) flavour contain vector code?
+    vectorizable: bool = True
+    #: thread counts the program supports
+    thread_counts: Tuple[int, ...] = (1, 2, 4, 8)
+    #: per barrier-delimited phase: does VLT multithreading apply?
+    #: None means every phase is parallel.
+    parallel_phases: Optional[List[bool]] = None
+
+    def __init__(self) -> None:
+        self._cache: Dict[bool, Program] = {}
+
+    # -- to implement --------------------------------------------------------
+
+    @abc.abstractmethod
+    def build(self, scalar_only: bool = False) -> Program:
+        """Construct the program (uncached)."""
+
+    @abc.abstractmethod
+    def verify(self, ex: Executor, program: Program) -> None:
+        """Raise :class:`VerificationError` unless results are correct."""
+
+    # -- provided -------------------------------------------------------------
+
+    def program(self, scalar_only: bool = False) -> Program:
+        """Cached program instance (identity matters for trace memoising)."""
+        if scalar_only not in self._cache:
+            if scalar_only and self.vectorizable is False:
+                # scalar apps have a single flavour
+                scalar_flavour = self._cache.get(False)
+                if scalar_flavour is not None:
+                    self._cache[True] = scalar_flavour
+                    return scalar_flavour
+            self._cache[scalar_only] = self.build(scalar_only=scalar_only)
+        return self._cache[scalar_only]
+
+    def run_and_verify(self, num_threads: int = 1,
+                       scalar_only: bool = False) -> Executor:
+        """Functional run + self-check; returns the executor."""
+        prog = self.program(scalar_only=scalar_only)
+        ex = Executor(prog, num_threads=num_threads, record_trace=False)
+        ex.run()
+        self.verify(ex, prog)
+        return ex
+
+    def phase_parallel_mask(self, nphases: int) -> List[bool]:
+        """Parallel/serial flag per phase, padded/truncated to nphases."""
+        if self.parallel_phases is None:
+            return [True] * nphases
+        mask = list(self.parallel_phases)
+        if len(mask) < nphases:
+            # repeat the declared pattern (time-stepped workloads)
+            reps = -(-nphases // len(mask))
+            mask = (mask * reps)[:nphases]
+        return mask[:nphases]
+
+
+#: name -> workload class; populated by ``register``.
+_REGISTRY: Dict[str, Type[Workload]] = {}
+_INSTANCES: Dict[str, Workload] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the global registry."""
+    if not cls.name:
+        raise ValueError(f"workload class {cls.__name__} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_workload(name: str) -> Workload:
+    """Singleton workload instance by name (programs are cached on it)."""
+    if name not in _INSTANCES:
+        try:
+            _INSTANCES[name] = _REGISTRY[name]()
+        except KeyError:
+            raise KeyError(f"unknown workload {name!r}; "
+                           f"known: {sorted(_REGISTRY)}") from None
+    return _INSTANCES[name]
+
+
+def all_workload_names() -> List[str]:
+    """Registered workload names in Table 4 order."""
+    order = ["mxm", "sage", "mpenc", "trfd", "multprec", "bt",
+             "radix", "ocean", "barnes"]
+    return [n for n in order if n in _REGISTRY] + sorted(
+        set(_REGISTRY) - set(order))
+
+
+def reset_workload_instances() -> None:
+    """Drop cached instances/programs (tests)."""
+    _INSTANCES.clear()

@@ -1,0 +1,584 @@
+"""bt -- NAS block-tridiagonal benchmark proxy
+(Table 4: 46% vect, avg VL 7.0, common VLs 5, 10, 12).
+
+Solves ``NL`` independent block-tridiagonal systems (one per grid line,
+parallel across threads) of ``NC = 12`` cells with 5x5 blocks, by the
+block Thomas algorithm -- the computational core of NAS BT.  The vector
+profile matches the paper's bt:
+
+* VL 5  -- block rows: G = inv(B') @ C products, h/back-substitution
+  matrix-vector stages;
+* VL 10 -- Gauss-Jordan inversion of the 5x5 pivot blocks operates on
+  augmented ``[B' | I]`` rows of length 10;
+* VL 12 -- per-line cell-scaling passes over the ``NC = 12`` cells;
+* ~half the operations are scalar: coefficient assembly from the grid
+  state, the ``B' = B - A G`` block product, and the
+  ``t = r - A h`` stage are scalar loops (the loops of BT a vectorizing
+  compiler does not vectorize), which is what pins bt at ~46%
+  vectorization in the paper.
+
+Each system is verified against a dense ``numpy.linalg.solve`` of the
+assembled block-tridiagonal matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional.executor import Executor
+from ..isa.builder import F, ProgramBuilder, S, V
+from ..isa.program import Program
+from .base import VerificationError, Workload, register
+from .common import (R_TID, S0, counted_loop, emit_chunk, parallel_barrier,
+                     serial_section, spmd_prologue)
+
+NL = 4          # independent lines (parallel dimension)
+NC = 12         # cells per line (the VL-12 length)
+BS = 5          # block size
+W_COEF = (0.3, 0.7, 1.1, 1.9, 2.3)
+
+# assembly coefficients (shared with the NumPy reference)
+CA1, CA2, ADIAG = 0.08, 0.015, 0.01
+CC1, CC2, CDIAG = 0.06, 0.02, 0.02
+CB1, CB2, BDIAG = 0.10, 0.03, 4.0
+CR = 1.7
+CS = 0.25
+
+_BLK = BS * BS * 8      # bytes per 5x5 block
+_ROW = BS * 8           # bytes per block row
+_AUGROW = 2 * BS * 8    # bytes per augmented row
+
+
+def _assemble(u: np.ndarray, s: np.ndarray):
+    """NumPy twin of the in-simulator assembly (exact same formulas)."""
+    w = np.array(W_COEF)
+    A = np.zeros((NL, NC, BS, BS))
+    Bm = np.zeros((NL, NC, BS, BS))
+    C = np.zeros((NL, NC, BS, BS))
+    r = np.zeros((NL, NC, BS))
+    for l in range(NL):
+        for c in range(NC):
+            ui = u[l, c]
+            A[l, c] = CA1 * np.outer(ui, w) + CA2 * np.outer(w, w)
+            C[l, c] = CC1 * np.outer(ui, w) + CC2 * np.outer(w, w)
+            Bm[l, c] = CB1 * np.outer(ui, ui) + CB2 * np.outer(w, ui)
+            A[l, c] += ADIAG * np.eye(BS)
+            C[l, c] += CDIAG * np.eye(BS)
+            Bm[l, c] += np.diag(BDIAG + ui)
+            r[l, c] = s[l, c] * (1.0 + CR * ui)
+    return A, Bm, C, r
+
+
+@register
+class BT(Workload):
+    """Block-tridiagonal Thomas solver with the paper's bt profile."""
+
+    name = "bt"
+    vectorizable = True
+    thread_counts = (1, 2, 4)
+    parallel_phases = [True, True, False]
+
+    def build(self, scalar_only: bool = False) -> Program:
+        if scalar_only:
+            raise ValueError("bt has no scalar-threads flavour")
+        rng = np.random.default_rng(13)
+        u = rng.random((NL, NC, BS))
+        self._u = u
+
+        b = ProgramBuilder("bt", memory_kib=768)
+        b.data_f64("u", u.reshape(-1))
+        b.data_f64("w", np.array(W_COEF))
+        b.data_f64("s", NL * NC)
+        for nm in ("A", "B", "C", "G"):
+            b.data_f64(nm, NL * NC * BS * BS)
+        for nm in ("r", "h", "x"):
+            b.data_f64(nm, NL * NC * BS)
+        b.data_f64("aug", 8 * BS * 2 * BS)   # per-thread [B' | I] scratch
+        b.data_f64("tv", 8 * BS)             # per-thread temp vector
+        b.data_f64("check", 1)
+
+        spmd_prologue(b)
+
+        # ---------------- phase 1: cell scaling (parallel, VL 12) ----------
+        lo, hi, t0 = S(1), S(2), S(3)
+        emit_chunk(b, NL, lo, hi, t0)
+        line = S(4)
+        vlen = S(5)
+        stride = S(6)
+        b.op("li", stride, BS * 8)           # u[l, c, 0] has stride BS words
+        with counted_loop(b, line, hi, start=lo):
+            ua = S(7)
+            b.op("muli", ua, line, NC * BS * 8)
+            b.op("addi", ua, ua, b.addr_of("u"))
+            sa = S(8)
+            b.op("muli", sa, line, NC * 8)
+            b.op("addi", sa, sa, b.addr_of("s"))
+            b.op("li", t0, NC)
+            b.op("setvl", vlen, t0)
+            f1 = F(1)
+            b.op("fli", f1, CS)
+            b.op("vlds", V(1), (0, ua), stride)      # u[l, :, 0]
+            b.op("vfmul.vv", V(2), V(1), V(1))
+            b.op("vfmul.vs", V(2), V(2), f1)
+            b.op("fli", f1, 1.0)
+            b.op("vfadd.vs", V(2), V(2), f1)
+            b.op("vst", V(2), (0, sa))
+        parallel_barrier(b)
+
+        # ---------------- phase 2: assemble + solve (parallel) -------------
+        lo, hi = S(1), S(2)
+        emit_chunk(b, NL, lo, hi, t0)
+        with counted_loop(b, line, hi, start=lo):
+            self._emit_line(b)
+        parallel_barrier(b)
+
+        # ------- phase 3: serial residual audit ||Mx - rhs||^2 --------------
+        # BT's non-parallelized tail (the paper reports 70% opportunity):
+        # thread 0 recomputes the block-tridiagonal residual serially.
+        with serial_section(b):
+            acc = F(1)
+            b.op("fli", acc, 0.0)
+            l, lend = S(1), S(2)
+            b.op("li", lend, NL)
+            with counted_loop(b, l, lend):
+                c, cend2 = S(3), S(4)
+                b.op("li", cend2, NC)
+                with counted_loop(b, c, cend2):
+                    gidx = S(5)                     # global cell index
+                    b.op("muli", gidx, l, NC)
+                    b.op("add", gidx, gidx, c)
+                    ca = S(6)
+                    b.op("muli", ca, gidx, BS * BS * 8)
+                    va = S(7)
+                    b.op("muli", va, gidx, BS * 8)
+                    i, iend2 = S(8), S(9)
+                    b.op("li", iend2, BS)
+                    with counted_loop(b, i, iend2):
+                        facc = F(2)
+                        ria = S(10)
+                        b.op("slli", ria, i, 3)
+                        b.op("add", ria, ria, va)
+                        b.op("fld", facc, (b.addr_of("r"), ria))
+                        b.op("fneg", facc, facc)
+                        rowo = S(10)
+                        b.op("muli", rowo, i, BS * 8)
+                        b.op("add", rowo, rowo, ca)
+                        m, mend = S(11), S(12)
+                        b.op("li", mend, BS)
+                        # B x_c
+                        xo = S(13)
+                        b.mv(xo, va)
+                        bo = S(14)
+                        b.mv(bo, rowo)
+                        with counted_loop(b, m, mend):
+                            b.op("fld", F(3), (b.addr_of("B"), bo))
+                            b.op("fld", F(4), (b.addr_of("x"), xo))
+                            b.op("fmul", F(3), F(3), F(4))
+                            b.op("fadd", facc, facc, F(3))
+                            b.op("addi", bo, bo, 8)
+                            b.op("addi", xo, xo, 8)
+                        # A x_{c-1} (if c > 0)
+                        skipA = b.genlabel("skipA")
+                        b.op("beq", c, S0, skipA)
+                        b.op("addi", xo, va, -(BS * 8))
+                        b.mv(bo, rowo)
+                        with counted_loop(b, m, mend):
+                            b.op("fld", F(3), (b.addr_of("A"), bo))
+                            b.op("fld", F(4), (b.addr_of("x"), xo))
+                            b.op("fmul", F(3), F(3), F(4))
+                            b.op("fadd", facc, facc, F(3))
+                            b.op("addi", bo, bo, 8)
+                            b.op("addi", xo, xo, 8)
+                        b.label(skipA)
+                        # C x_{c+1} (if c < NC-1)
+                        skipC = b.genlabel("skipC")
+                        tcmp = S(15)
+                        b.op("li", tcmp, NC - 1)
+                        b.op("beq", c, tcmp, skipC)
+                        b.op("addi", xo, va, BS * 8)
+                        b.mv(bo, rowo)
+                        with counted_loop(b, m, mend):
+                            b.op("fld", F(3), (b.addr_of("C"), bo))
+                            b.op("fld", F(4), (b.addr_of("x"), xo))
+                            b.op("fmul", F(3), F(3), F(4))
+                            b.op("fadd", facc, facc, F(3))
+                            b.op("addi", bo, bo, 8)
+                            b.op("addi", xo, xo, 8)
+                        b.label(skipC)
+                        b.op("fmul", facc, facc, facc)
+                        b.op("fadd", acc, acc, facc)
+            b.op("li", S(16), b.addr_of("check"))
+            b.op("fst", acc, (0, S(16)))
+        b.op("halt")
+        return b.build()
+
+    # ------------------------------------------------------------------
+    # per-line emission (runs with `line` in S(4))
+    # ------------------------------------------------------------------
+
+    def _emit_line(self, b: ProgramBuilder) -> None:
+        line = S(4)
+        t0 = S(3)
+        # line base offsets
+        blkbase = S(7)     # byte offset of (line, 0) block
+        b.op("muli", blkbase, line, NC * BS * BS * 8)
+        vecbase = S(8)     # byte offset of (line, 0) vector
+        b.op("muli", vecbase, line, NC * BS * 8)
+        auga = S(9)        # per-thread augmented scratch
+        b.op("muli", auga, R_TID, BS * 2 * BS * 8)
+        b.op("addi", auga, auga, b.addr_of("aug"))
+        tva = S(10)        # per-thread temp vector
+        b.op("muli", tva, R_TID, BS * 8)
+        b.op("addi", tva, tva, b.addr_of("tv"))
+
+        cell = S(11)
+        cend = S(12)
+        b.op("li", cend, NC)
+        with counted_loop(b, cell, cend):
+            self._emit_assemble(b, blkbase, vecbase, cell)
+
+        with counted_loop(b, cell, cend):
+            self._emit_forward(b, blkbase, vecbase, auga, tva, cell)
+
+        self._emit_backward(b, blkbase, vecbase, tva)
+
+    # -- scalar assembly of A, B, C, r for one cell -------------------------
+
+    def _emit_assemble(self, b: ProgramBuilder, blkbase, vecbase, cell):
+        """Scalar coefficient assembly (the non-vectorized loops of BT)."""
+        t0 = S(3)
+        ca = S(13)         # cell block byte offset
+        b.op("muli", ca, cell, BS * BS * 8)
+        b.op("add", ca, ca, blkbase)
+        va = S(14)         # cell vector byte offset
+        b.op("muli", va, cell, BS * 8)
+        b.op("add", va, va, vecbase)
+        ua = S(15)
+        b.op("addi", ua, va, b.addr_of("u"))
+
+        i, j = S(16), S(17)
+        bend = S(18)
+        b.op("li", bend, BS)
+        fi, fj, fw_i, fw_j, ft = F(1), F(2), F(3), F(4), F(5)
+        # assembly coefficients hoisted out of the element loops
+        c_a1, c_a2, c_c1, c_c2, c_b1, c_b2 = (F(8), F(9), F(10), F(11),
+                                              F(12), F(13))
+        for reg, val in ((c_a1, CA1), (c_a2, CA2), (c_c1, CC1),
+                         (c_c2, CC2), (c_b1, CB1), (c_b2, CB2)):
+            b.op("fli", reg, val)
+        wbase = b.addr_of("w")
+        with counted_loop(b, i, bend):
+            uia = S(19)
+            b.op("slli", uia, i, 3)
+            b.op("add", uia, uia, ua)
+            b.op("fld", fi, (0, uia))           # u_i
+            wia = S(20)
+            b.op("slli", wia, i, 3)
+            b.op("fld", fw_i, (wbase, wia))     # w_i
+            rowoff = S(21)
+            b.op("muli", rowoff, i, BS * 8)
+            with counted_loop(b, j, bend):
+                uja = S(22)
+                b.op("slli", uja, j, 3)
+                wja = S(23)
+                b.op("add", wja, uja, S0)
+                b.op("fld", fw_j, (wbase, wja))     # w_j
+                b.op("add", uja, uja, ua)
+                b.op("fld", fj, (0, uja))           # u_j
+                ea = S(24)                           # element byte offset
+                b.op("slli", ea, j, 3)
+                b.op("add", ea, ea, rowoff)
+                b.op("add", ea, ea, ca)
+                uw, ww = F(14), F(15)                # shared products
+                b.op("fmul", uw, fi, fw_j)           # u_i * w_j
+                b.op("fmul", ww, fw_i, fw_j)         # w_i * w_j
+                # A and C: c1*u_i*w_j + c2*w_i*w_j
+                for name, c1r, c2r in (("A", c_a1, c_a2), ("C", c_c1, c_c2)):
+                    b.op("fmul", ft, uw, c1r)
+                    b.op("fmul", F(7), ww, c2r)
+                    b.op("fadd", ft, ft, F(7))
+                    b.op("fst", ft, (b.addr_of(name), ea))
+                # B: cb1*u_i*u_j + cb2*w_i*u_j
+                b.op("fmul", uw, fi, fj)             # u_i * u_j
+                b.op("fmul", ww, fw_i, fj)           # w_i * u_j
+                b.op("fmul", ft, uw, c_b1)
+                b.op("fmul", F(7), ww, c_b2)
+                b.op("fadd", ft, ft, F(7))
+                b.op("fst", ft, (b.addr_of("B"), ea))
+            # r_i = s * (1 + CR*u_i)
+            sa = S(22)
+            b.op("muli", sa, cell, 8)
+            ln = S(23)
+            b.op("muli", ln, S(4), NC * 8)
+            b.op("add", sa, sa, ln)
+            fs = F(6)
+            b.op("fld", fs, (b.addr_of("s"), sa))
+            b.op("fli", F(7), CR)
+            b.op("fmul", ft, fi, F(7))
+            b.op("fli", F(7), 1.0)
+            b.op("fadd", ft, ft, F(7))
+            b.op("fmul", ft, ft, fs)
+            ra = S(24)
+            b.op("slli", ra, i, 3)
+            b.op("add", ra, ra, va)
+            b.op("fst", ft, (b.addr_of("r"), ra))
+            # diagonal fixups: A += ADIAG, C += CDIAG, B += BDIAG + u_i
+            da = S(22)
+            b.op("muli", da, i, (BS + 1) * 8)
+            b.op("add", da, da, ca)
+            for name, dval in (("A", ADIAG), ("C", CDIAG)):
+                b.op("fld", ft, (b.addr_of(name), da))
+                b.op("fli", F(6), dval)
+                b.op("fadd", ft, ft, F(6))
+                b.op("fst", ft, (b.addr_of(name), da))
+            b.op("fld", ft, (b.addr_of("B"), da))
+            b.op("fli", F(6), BDIAG)
+            b.op("fadd", ft, ft, F(6))
+            b.op("fadd", ft, ft, fi)
+            b.op("fst", ft, (b.addr_of("B"), da))
+
+    # -- forward elimination for one cell -----------------------------------
+
+    def _emit_forward(self, b: ProgramBuilder, blkbase, vecbase, auga,
+                      tva, cell):
+        t0 = S(3)
+        ca = S(13)
+        b.op("muli", ca, cell, BS * BS * 8)
+        b.op("add", ca, ca, blkbase)
+        va = S(14)
+        b.op("muli", va, cell, BS * 8)
+        b.op("add", va, va, vecbase)
+
+        # ---- build aug = [B' | I] ------------------------------------
+        # B' = B - A @ G_prev (scalar block product; B' = B at cell 0)
+        first = b.genlabel("first_cell")
+        have_bp = b.genlabel("have_bp")
+        i, j, m = S(16), S(17), S(18)
+        bend = S(19)
+        b.op("li", bend, BS)
+        gprev = S(15)
+        b.op("addi", gprev, ca, -(BS * BS * 8))   # (line, cell-1) block
+
+        b.op("beq", cell, S0, first)
+        # vector row-accumulate form: aug_row_i = B_row_i - sum_m A[i][m] *
+        # Gprev_row_m (VL 5), the form the X1 compiler emits for block ops
+        vlen0 = S(20)
+        b.op("li", t0, BS)
+        b.op("setvl", vlen0, t0)
+        ba0 = S(21)
+        b.op("addi", ba0, ca, b.addr_of("B"))
+        ga0 = S(22)
+        b.op("addi", ga0, gprev, b.addr_of("G"))
+        dst0 = S(23)
+        b.mv(dst0, auga)
+        aoff0 = S(24)
+        b.op("add", aoff0, ca, S0)                 # A row base (bytes)
+        with counted_loop(b, i, bend):
+            b.op("vld", V(1), (0, ba0))            # acc = B row i
+            for mm in range(BS):
+                b.op("fld", F(1), (b.addr_of("A") + mm * 8, aoff0))
+                b.op("vld", V(2), (mm * _ROW, ga0))
+                b.op("vfmul.vs", V(2), V(2), F(1))
+                b.op("vfsub.vv", V(1), V(1), V(2))
+            b.op("vst", V(1), (0, dst0))
+            b.op("addi", ba0, ba0, _ROW)
+            b.op("addi", aoff0, aoff0, _ROW)
+            b.op("addi", dst0, dst0, _AUGROW)
+        b.op("j", have_bp)
+
+        b.label(first)      # cell 0: B' = B (copy rows, VL 5)
+        b.op("li", t0, BS)
+        vlen = S(20)
+        b.op("setvl", vlen, t0)
+        src = S(21)
+        b.op("addi", src, ca, b.addr_of("B"))
+        dst = S(22)
+        b.mv(dst, auga)
+        with counted_loop(b, i, bend):
+            b.op("vld", V(1), (0, src))
+            b.op("vst", V(1), (0, dst))
+            b.op("addi", src, src, _ROW)
+            b.op("addi", dst, dst, _AUGROW)
+        b.label(have_bp)
+
+        # right half = identity
+        b.op("li", t0, BS)
+        vlen = S(20)
+        b.op("setvl", vlen, t0)
+        zv = V(1)
+        fz = F(1)
+        b.op("fli", fz, 0.0)
+        b.op("vfmv.s", zv, fz)
+        dst = S(21)
+        b.op("addi", dst, auga, BS * 8)
+        fone = F(2)
+        b.op("fli", fone, 1.0)
+        for p in range(BS):
+            b.op("vst", zv, (p * _AUGROW, dst))
+            b.op("fst", fone, (p * _AUGROW + p * 8, dst))
+
+        # ---- Gauss-Jordan on augmented rows (VL 10) --------------------
+        b.op("li", t0, 2 * BS)
+        b.op("setvl", vlen, t0)
+        for p in range(BS):
+            piv = F(1)
+            b.op("fld", piv, (p * _AUGROW + p * 8, auga))
+            b.op("fli", F(2), 1.0)
+            b.op("fdiv", piv, F(2), piv)
+            b.op("vld", V(1), (p * _AUGROW, auga))
+            b.op("vfmul.vs", V(1), V(1), piv)
+            b.op("vst", V(1), (p * _AUGROW, auga))
+            for rr in range(BS):
+                if rr == p:
+                    continue
+                fac = F(2)
+                b.op("fld", fac, (rr * _AUGROW + p * 8, auga))
+                b.op("vld", V(2), (rr * _AUGROW, auga))
+                b.op("vfmul.vs", V(3), V(1), fac)
+                b.op("vfsub.vv", V(2), V(2), V(3))
+                b.op("vst", V(2), (rr * _AUGROW, auga))
+
+        # ---- G = inv @ C (vector, VL 5) --------------------------------
+        b.op("li", t0, BS)
+        b.op("setvl", vlen, t0)
+        inva = S(21)
+        b.op("addi", inva, auga, BS * 8)         # right half rows
+        cca = S(22)
+        b.op("addi", cca, ca, b.addr_of("C"))
+        gga = S(23)
+        b.op("addi", gga, ca, b.addr_of("G"))
+        fz = F(1)
+        b.op("fli", fz, 0.0)
+        for r in range(BS):
+            b.op("vfmv.s", V(1), fz)             # acc
+            for mm in range(BS):
+                b.op("fld", F(2), (r * _AUGROW + mm * 8, inva))
+                b.op("vld", V(2), (mm * _ROW, cca))
+                b.op("vfmul.vs", V(2), V(2), F(2))
+                b.op("vfadd.vv", V(1), V(1), V(2))
+            b.op("vst", V(1), (r * _ROW, gga))
+
+        # ---- t = r - A @ h_prev (scalar; t = r at cell 0) ---------------
+        hprev = S(24)
+        b.op("addi", hprev, va, -(BS * 8))
+        rra = S(25)
+        b.op("addi", rra, va, b.addr_of("r"))
+        tcopy = b.genlabel("tcopy")
+        tdone = b.genlabel("tdone")
+        b.op("beq", cell, S0, tcopy)
+        with counted_loop(b, i, bend):
+            facc = F(1)
+            ria = S(26)
+            b.op("slli", ria, i, 3)
+            b.op("add", ria, ria, rra)
+            b.op("fld", facc, (0, ria))
+            aoff = S(26)
+            b.op("muli", aoff, i, BS * 8)
+            b.op("add", aoff, aoff, ca)
+            hoff = S(27)
+            b.op("addi", hoff, hprev, b.addr_of("h"))
+            with counted_loop(b, m, bend):
+                b.op("fld", F(2), (b.addr_of("A"), aoff))
+                b.op("fld", F(3), (0, hoff))
+                b.op("fmul", F(2), F(2), F(3))
+                b.op("fsub", facc, facc, F(2))
+                b.op("addi", aoff, aoff, 8)
+                b.op("addi", hoff, hoff, 8)
+            tia = S(26)
+            b.op("slli", tia, i, 3)
+            b.op("add", tia, tia, tva)
+            b.op("fst", facc, (0, tia))
+        b.op("j", tdone)
+        b.label(tcopy)
+        b.op("vld", V(1), (0, rra))
+        b.op("vst", V(1), (0, tva))
+        b.label(tdone)
+
+        # ---- h = inv @ t (vector dot rows, VL 5) ------------------------
+        hha = S(26)
+        b.op("addi", hha, va, b.addr_of("h"))
+        b.op("vld", V(2), (0, tva))
+        for r in range(BS):
+            # row r of inv is strided inside aug right half (VL 5)
+            sreg = S(27)
+            b.op("li", sreg, 8)
+            b.op("vld", V(1), (r * _AUGROW, inva))
+            b.op("vfmul.vv", V(3), V(1), V(2))
+            b.op("vfredsum", F(1), V(3))
+            b.op("fst", F(1), (r * 8, hha))
+
+    # -- back substitution for one line --------------------------------------
+
+    def _emit_backward(self, b: ProgramBuilder, blkbase, vecbase, tva):
+        t0 = S(3)
+        vlen = S(13)
+        b.op("li", t0, BS)
+        b.op("setvl", vlen, t0)
+        # x[NC-1] = h[NC-1]
+        va = S(14)
+        b.op("addi", va, vecbase, (NC - 1) * BS * 8)
+        b.op("vld", V(1), (b.addr_of("h"), va))
+        b.op("vst", V(1), (b.addr_of("x"), va))
+        # walk cells NC-2 .. 0
+        cell = S(15)
+        b.op("li", cell, NC - 2)
+        head = b.genlabel("bk")
+        exit_ = b.genlabel("bkend")
+        b.op("blt", cell, S0, exit_)
+        b.label(head)
+        ca = S(16)
+        b.op("muli", ca, cell, BS * BS * 8)
+        b.op("add", ca, ca, blkbase)
+        b.op("muli", va, cell, BS * 8)
+        b.op("add", va, va, vecbase)
+        xna = S(17)
+        b.op("addi", xna, va, BS * 8)          # x[cell+1]
+        b.op("vld", V(2), (b.addr_of("x"), xna))
+        gga = S(18)
+        b.op("addi", gga, ca, b.addr_of("G"))
+        for r in range(BS):
+            b.op("vld", V(1), (r * _ROW, gga))
+            b.op("vfmul.vv", V(3), V(1), V(2))
+            b.op("vfredsum", F(1), V(3))
+            b.op("fst", F(1), (r * 8, tva))
+        b.op("vld", V(1), (b.addr_of("h"), va))
+        b.op("vld", V(3), (0, tva))
+        b.op("vfsub.vv", V(1), V(1), V(3))
+        b.op("vst", V(1), (b.addr_of("x"), va))
+        b.op("addi", cell, cell, -1)
+        b.op("bge", cell, S0, head)
+        b.label(exit_)
+
+    # ------------------------------------------------------------------
+
+    def _reference(self):
+        u = self._u
+        s = 1.0 + CS * u[:, :, 0] ** 2
+        A, Bm, C, r = _assemble(u, s)
+        X = np.zeros((NL, NC, BS))
+        for l in range(NL):
+            n = NC * BS
+            M = np.zeros((n, n))
+            rhs = np.zeros(n)
+            for c in range(NC):
+                M[c * BS:(c + 1) * BS, c * BS:(c + 1) * BS] = Bm[l, c]
+                if c > 0:
+                    M[c * BS:(c + 1) * BS, (c - 1) * BS:c * BS] = A[l, c]
+                if c < NC - 1:
+                    M[c * BS:(c + 1) * BS, (c + 1) * BS:(c + 2) * BS] = C[l, c]
+                rhs[c * BS:(c + 1) * BS] = r[l, c]
+            X[l] = np.linalg.solve(M, rhs).reshape(NC, BS)
+        return X
+
+    def verify(self, ex: Executor, program: Program) -> None:
+        want = self._reference()
+        got = ex.mem.read_f64_array(program.symbol_addr("x"),
+                                    NL * NC * BS).reshape(NL, NC, BS)
+        if not np.allclose(got, want, rtol=1e-6, atol=1e-8):
+            raise VerificationError(
+                f"bt solution mismatch: max err "
+                f"{np.abs(got - want).max():.3e}")
+        resid = ex.mem.read_f64_array(program.symbol_addr("check"), 1)[0]
+        if not resid < 1e-12:
+            raise VerificationError(
+                f"bt residual audit failed: ||Mx-r||^2 = {resid:.3e}")

@@ -1,0 +1,117 @@
+"""Shared helpers for hand-written SPMD workload kernels.
+
+Hand-written workloads (the short-vector and scalar applications, whose
+control structure is too irregular for the mini-compiler) use these
+helpers for the standard SPMD patterns: the thread prologue, static
+chunking of an iteration range across threads, and thread-0-only serial
+sections.
+
+Register conventions for hand-written kernels:
+
+* ``s28`` holds ``tid`` and ``s29`` holds ``ntid`` after
+  :func:`spmd_prologue`;
+* everything else is the kernel author's business.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+from ..isa.builder import ProgramBuilder, S
+from ..isa.registers import Reg
+
+#: Conventional registers for thread id / thread count.
+R_TID = S(28)
+R_NTID = S(29)
+S0 = S(0)
+
+
+def spmd_prologue(b: ProgramBuilder) -> Tuple[Reg, Reg]:
+    """Emit the SPMD prologue (vltcfg + tid/ntid); returns (tid, ntid)."""
+    b.op("vltcfg", 0)
+    b.op("tid", R_TID)
+    b.op("ntid", R_NTID)
+    return R_TID, R_NTID
+
+
+def emit_chunk(b: ProgramBuilder, n: int, lo: Reg, hi: Reg,
+               tmp: Reg) -> None:
+    """Compute this thread's static chunk ``[lo, hi)`` of ``range(n)``.
+
+    ``chunk = ceil(n / ntid); lo = min(tid*chunk, n); hi = min(lo+chunk, n)``.
+    """
+    b.op("li", tmp, n)
+    b.op("addi", lo, R_NTID, -1)
+    b.op("add", lo, lo, tmp)
+    b.op("div", lo, lo, R_NTID)          # lo = chunk
+    b.op("mul", hi, R_TID, lo)           # hi = tid*chunk
+    b.op("add", lo, hi, lo)              # lo = tid*chunk + chunk
+    b.op("min", hi, hi, tmp)
+    b.op("min", lo, lo, tmp)
+    # swap: we computed (start in hi, end in lo); normalise to (lo, hi)
+    b.op("add", tmp, hi, S0)
+    b.op("add", hi, lo, S0)
+    b.op("add", lo, tmp, S0)
+
+
+@contextmanager
+def serial_section(b: ProgramBuilder) -> Iterator[None]:
+    """Thread-0-only block followed by a barrier (serial program phase)."""
+    skip = b.genlabel("serial")
+    b.op("bne", R_TID, S0, skip)
+    yield
+    b.label(skip)
+    b.op("barrier")
+
+
+def parallel_barrier(b: ProgramBuilder) -> None:
+    """End-of-parallel-phase barrier."""
+    b.op("barrier")
+
+
+def emit_parallel_reduce_f64(b: ProgramBuilder, value: Reg,
+                             parts_symbol: str, out_symbol: str,
+                             tmp: Reg, facc: Reg, ftmp: Reg) -> None:
+    """Standard SPMD sum-reduction of one f64 ``value`` per thread.
+
+    Each thread stores ``value`` (an f-register) into its slot of the
+    8-entry ``parts_symbol`` array; after a barrier, thread 0 sums the
+    slots into ``out_symbol`` and a trailing barrier publishes it.
+    Unused slots must be zero (the data image guarantees this on first
+    use).  Clobbers ``tmp`` (s-reg) and ``facc``/``ftmp`` (f-regs).
+    """
+    b.op("slli", tmp, R_TID, 3)
+    b.op("addi", tmp, tmp, b.addr_of(parts_symbol))
+    b.op("fst", value, (0, tmp))
+    parallel_barrier(b)
+    with serial_section(b):
+        b.op("li", tmp, b.addr_of(parts_symbol))
+        b.op("fli", facc, 0.0)
+        for i in range(8):
+            b.op("fld", ftmp, (i * 8, tmp))
+            b.op("fadd", facc, facc, ftmp)
+        b.op("li", tmp, b.addr_of(out_symbol))
+        b.op("fst", facc, (0, tmp))
+
+
+@contextmanager
+def counted_loop(b: ProgramBuilder, var: Reg, bound: Reg,
+                 start: Reg | int = 0) -> Iterator[None]:
+    """``for var in [start, bound)`` -- emits guard + bottom-test loop.
+
+    ``bound`` must already hold the end value; ``start`` may be a
+    register or a small constant.
+    """
+    if isinstance(start, int):
+        b.op("li", var, start)
+    else:
+        b.mv(var, start)
+    head = b.genlabel("loop")
+    exit_ = b.genlabel("endloop")
+    b.op("bge", var, bound, exit_)
+    b.label(head)
+    yield
+    b.op("addi", var, var, 1)
+    b.op("blt", var, bound, head)
+    b.label(exit_)

@@ -1,0 +1,208 @@
+"""multprec -- multiprecision array arithmetic
+(Table 4: 71% vect, avg VL 25.2, common VLs 23, 24, 64).
+
+Arbitrary-precision fixed-point numbers stored as ``D = 24`` digits of
+base 2^20 in int64 words.  For an array of ``M`` numbers the kernel
+computes, per number (parallel across numbers):
+
+* ``R = X + Y`` and ``P = X * SC`` digit-wise (VL 24 integer vector ops),
+* two vectorised carry-save passes: split each digit into value and
+  carry (VL 24), then add the carries into the next-higher digits with a
+  shifted-by-one-word vector pass (VL 23 -- the source of the paper's
+  "23" common vector length),
+* one final *scalar* sequential carry propagation (the inherently serial
+  digit recurrence that keeps multiprec at ~71% vectorization).
+
+A frame-level masking/checksum pass over the flattened digit arrays runs
+at VL 64, and a serial audit phase (thread 0) closes the program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional.executor import Executor
+from ..isa.builder import F, ProgramBuilder, S, V
+from ..isa.program import Program
+from .base import VerificationError, Workload, register
+from .common import (R_TID, counted_loop, emit_chunk, parallel_barrier,
+                     serial_section, spmd_prologue)
+
+D = 24                 # digits per number
+BASE_BITS = 20
+MASK = (1 << BASE_BITS) - 1
+M = 48                 # numbers
+SC = 37                # small scalar multiplier
+SERIAL_NUMBERS = 28    # numbers audited in the serial phase
+
+
+def _value(digits: np.ndarray) -> int:
+    return sum(int(d) << (BASE_BITS * k) for k, d in enumerate(digits))
+
+
+@register
+class MultPrec(Workload):
+    """Multiprecision digit-array arithmetic with VL 23/24/64 profile."""
+
+    name = "multprec"
+    vectorizable = True
+    parallel_phases = [True, True, False]
+
+    def build(self, scalar_only: bool = False) -> Program:
+        if scalar_only:
+            raise ValueError("multprec has no scalar-threads flavour")
+        rng = np.random.default_rng(5)
+        x = rng.integers(0, 1 << (BASE_BITS - 1), size=(M, D), dtype=np.int64)
+        y = rng.integers(0, 1 << (BASE_BITS - 1), size=(M, D), dtype=np.int64)
+        # keep the top digit small so no final carry overflows the width
+        x[:, -1] &= 0x3FF
+        y[:, -1] &= 0x3FF
+        self._x, self._y = x, y
+
+        b = ProgramBuilder("multprec", memory_kib=512)
+        b.data_i64("X", x.reshape(-1))
+        b.data_i64("Y", y.reshape(-1))
+        b.data_i64("R", M * D)
+        b.data_i64("P", M * D)
+        b.data_i64("ctmp", 8 * D)        # per-thread carry scratch
+        b.data_i64("masked", M * D)
+        b.data_i64("check", 2)
+
+        spmd_prologue(b)
+
+        # ------------- phase 1: per-number arithmetic (parallel) -----------
+        lo, hi, t0 = S(1), S(2), S(3)
+        emit_chunk(b, M, lo, hi, t0)
+        num = S(4)
+        vlen = S(5)
+        mask_r = S(6)
+        b.op("li", mask_r, MASK)
+        shift_r = S(7)
+        b.op("li", shift_r, BASE_BITS)
+        sc_r = S(8)
+        b.op("li", sc_r, SC)
+        # per-thread carry scratch base
+        csc = S(9)
+        b.op("muli", csc, R_TID, D * 8)
+        b.op("addi", csc, csc, b.addr_of("ctmp"))
+
+        with counted_loop(b, num, hi, start=lo):
+            off = S(10)
+            b.op("muli", off, num, D * 8)
+            xa, ya, ra, pa = S(11), S(12), S(13), S(14)
+            b.op("addi", xa, off, b.addr_of("X"))
+            b.op("addi", ya, off, b.addr_of("Y"))
+            b.op("addi", ra, off, b.addr_of("R"))
+            b.op("addi", pa, off, b.addr_of("P"))
+
+            b.op("li", t0, D)
+            b.op("setvl", vlen, t0)
+            # R = X + Y ; P = X * SC  (digit-wise)
+            b.op("vld", V(1), (0, xa))
+            b.op("vld", V(2), (0, ya))
+            b.op("vadd.vv", V(3), V(1), V(2))
+            b.op("vst", V(3), (0, ra))
+            b.op("vmul.vs", V(4), V(1), sc_r)
+            b.op("vst", V(4), (0, pa))
+
+            # two vector carry-save passes for each result
+            for res_a in (ra, pa):
+                for _ in range(2):
+                    b.op("li", t0, D)
+                    b.op("setvl", vlen, t0)
+                    b.op("vld", V(1), (0, res_a))
+                    b.op("vsra.vs", V(2), V(1), shift_r)   # carries
+                    b.op("vand.vs", V(3), V(1), mask_r)    # digit values
+                    b.op("vst", V(3), (0, res_a))
+                    b.op("vst", V(2), (0, csc))
+                    b.op("li", t0, D - 1)                  # VL 23 shifted add
+                    b.op("setvl", vlen, t0)
+                    b.op("vld", V(4), (0, csc))
+                    b.op("vld", V(5), (8, res_a))
+                    b.op("vadd.vv", V(5), V(5), V(4))
+                    b.op("vst", V(5), (8, res_a))
+
+            # final scalar sequential carry propagation (exact)
+            for res_a in (ra, pa):
+                carry = S(15)
+                b.op("li", carry, 0)
+                k, kend = S(16), S(17)
+                b.op("li", kend, D)
+                da = S(18)
+                b.mv(da, res_a)
+                with counted_loop(b, k, kend):
+                    v = S(19)
+                    b.op("ld", v, (0, da))
+                    b.op("add", v, v, carry)
+                    b.op("sra", carry, v, shift_r)
+                    b.op("and", v, v, mask_r)
+                    b.op("st", v, (0, da))
+                    b.op("addi", da, da, 8)
+        parallel_barrier(b)
+
+        # ------------- phase 2: flattened masking pass (parallel, VL 64) ----
+        lo2, hi2 = S(1), S(2)
+        total = M * D
+        emit_chunk(b, total // 64, lo2, hi2, S(3))   # strips of 64
+        strip = S(4)
+        b.op("li", t0, 64)
+        b.op("setvl", vlen, t0)
+        b.op("li", mask_r, 0xFFFF)
+        with counted_loop(b, strip, hi2, start=lo2):
+            addr = S(10)
+            b.op("muli", addr, strip, 64 * 8)
+            b.op("addi", addr, addr, b.addr_of("R"))
+            out = S(11)
+            b.op("muli", out, strip, 64 * 8)
+            b.op("addi", out, out, b.addr_of("masked"))
+            b.op("vld", V(1), (0, addr))
+            b.op("vand.vs", V(2), V(1), mask_r)
+            b.op("vst", V(2), (0, out))
+        parallel_barrier(b)
+
+        # ------------- phase 3: serial audit (thread 0) ---------------------
+        with serial_section(b):
+            acc = S(1)
+            b.op("li", acc, 0)
+            n, nend = S(2), S(3)
+            b.op("li", nend, SERIAL_NUMBERS)
+            with counted_loop(b, n, nend):
+                da = S(4)
+                b.op("muli", da, n, D * 8)
+                b.op("addi", da, da, b.addr_of("R"))
+                k, kend = S(5), S(6)
+                b.op("li", kend, D)
+                with counted_loop(b, k, kend):
+                    v = S(7)
+                    b.op("ld", v, (0, da))
+                    b.op("muli", v, v, 3)
+                    b.op("add", acc, acc, v)
+                    b.op("addi", da, da, 8)
+            b.op("li", S(8), b.addr_of("check"))
+            b.op("st", acc, (0, S(8)))
+        b.op("halt")
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    def verify(self, ex: Executor, program: Program) -> None:
+        x, y = self._x, self._y
+        mem = ex.mem
+        r = mem.read_i64_array(program.symbol_addr("R"), M * D).reshape(M, D)
+        p = mem.read_i64_array(program.symbol_addr("P"), M * D).reshape(M, D)
+        if (r < 0).any() or (r > MASK).any():
+            raise VerificationError("multprec: R digits not normalised")
+        if (p < 0).any() or (p > MASK).any():
+            raise VerificationError("multprec: P digits not normalised")
+        for i in range(M):
+            if _value(r[i]) != _value(x[i]) + _value(y[i]):
+                raise VerificationError(f"multprec: R[{i}] wrong value")
+            if _value(p[i]) != _value(x[i]) * SC:
+                raise VerificationError(f"multprec: P[{i}] wrong value")
+        masked = mem.read_i64_array(program.symbol_addr("masked"), M * D)
+        if not np.array_equal(masked, r.reshape(-1) & 0xFFFF):
+            raise VerificationError("multprec: masked pass wrong")
+        check = mem.read_i64_array(program.symbol_addr("check"), 1)[0]
+        want = int((r[:SERIAL_NUMBERS] * 3).sum())
+        if check != want:
+            raise VerificationError("multprec: serial checksum wrong")

@@ -1,0 +1,69 @@
+"""mxm -- dense matrix multiply (Table 4: 96% vect, avg VL 64.0).
+
+The paper's long-vector poster child: compiled with the mini-vectorizer,
+the j loop (unit stride in both B and C) is vectorized at full MVL=64,
+so the 8-lane machine is saturated by a single thread and VLT offers no
+opportunity (the paper excludes mxm/sage from the VLT experiments for
+this reason; we use it for Figure 1 lane scaling).
+
+The matrix is rectangular (M x K times K x N with N = MVL) to keep
+simulation time proportional to useful vector work while preserving the
+average-VL-64 profile of the paper's square mxm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compiler import (Array, CompileOptions, Kernel, Loop, Reduce, Var,
+                        compile_kernel)
+from ..functional.executor import Executor
+from ..isa.program import Program
+from ..isa.registers import MVL
+from .base import VerificationError, Workload, register
+
+
+@register
+class MXM(Workload):
+    """Dense matmul C = A @ B, vectorized along unit-stride rows of C."""
+
+    name = "mxm"
+    vectorizable = True
+    parallel_phases = None  # entirely parallel
+
+    M = 20
+    K = 20
+    N = MVL
+
+    def build(self, scalar_only: bool = False) -> Program:
+        if scalar_only:
+            raise ValueError("mxm has no scalar-threads flavour")
+        rng = np.random.default_rng(42)
+        a = rng.random((self.M, self.K))
+        bm = rng.random((self.K, self.N))
+        self._a, self._b = a, bm
+
+        i, j, k = Var("i"), Var("j"), Var("k")
+        A = Array("A", (self.M, self.K), a)
+        B = Array("B", (self.K, self.N), bm)
+        C = Array("C", (self.M, self.N))
+        kern = Kernel("mxm", [
+            Loop(i, self.M, [
+                Loop(k, self.K, [
+                    Loop(j, self.N,
+                         [Reduce("+", C[i, j], A[i, k] * B[k, j])],
+                         parallel=True),
+                ]),
+            ], parallel=True),
+        ])
+        return compile_kernel(
+            kern, CompileOptions(vectorize=True, policy="maxvl",
+                                 threads=True, memory_kib=256))
+
+    def verify(self, ex: Executor, program: Program) -> None:
+        got = ex.mem.read_f64_array(program.symbol_addr("C"),
+                                    self.M * self.N).reshape(self.M, self.N)
+        want = self._a @ self._b
+        if not np.allclose(got, want, rtol=1e-10):
+            raise VerificationError(
+                f"mxm mismatch: max err {np.abs(got - want).max():.3e}")

@@ -1,0 +1,186 @@
+"""ocean -- eddy currents in an ocean basin (SPLASH-2 proxy)
+(Table 4: parallel but not vectorizable; 96% opportunity).
+
+The SPLASH-2 ocean kernel's time goes into red-black Gauss-Seidel
+relaxation sweeps of elliptic solvers.  Red-black sweeps with a shared
+convergence test defeat the vectorizer (the paper lists ocean with no
+vectorization at all), but rows parallelise cleanly across threads with
+a barrier per colour.  Per-thread ILP is low -- each point update is a
+short chain of adds feeding a multiply, between dependent loads -- which
+is exactly why eight simple lane-cores beat two wide SMT cores on it
+(Figure 6).
+
+The grid is sized so the working set exceeds a 16 KB L1, as in the
+paper's runs (CMT threads miss to the banked L2 just like lane cores).
+The final residual reduction is the small serial tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional.executor import Executor
+from ..isa.builder import F, ProgramBuilder, S
+from ..isa.program import Program
+from .base import VerificationError, Workload, register
+from .common import (R_TID, counted_loop, emit_chunk, parallel_barrier,
+                     serial_section, spmd_prologue)
+
+G = 58             # grid edge including boundary; interior is (G-2)^2
+ITERS = 3
+H2 = 0.01
+
+
+@register
+class Ocean(Workload):
+    """Red-black Gauss-Seidel relaxation, scalar, row-parallel."""
+
+    name = "ocean"
+    vectorizable = False
+    parallel_phases = [True, True] * ITERS + [True, False]
+
+    def build(self, scalar_only: bool = False) -> Program:
+        rng = np.random.default_rng(23)
+        u0 = rng.random((G, G))
+        f = rng.random((G, G))
+        self._u0, self._f = u0, f
+
+        b = ProgramBuilder("ocean", memory_kib=512)
+        b.data_f64("u", u0.reshape(-1))
+        b.data_f64("f", f.reshape(-1))
+        b.data_f64("resid", 1)
+        spmd_prologue(b)
+
+        interior = G - 2
+        for _ in range(ITERS):
+            for colour in (0, 1):
+                lo, hi, t0 = S(1), S(2), S(3)
+                emit_chunk(b, interior, lo, hi, t0)
+                row = S(4)
+                fh2, fq = F(21), F(22)
+                b.op("fli", fh2, H2)
+                b.op("fli", fq, 0.25)
+                with counted_loop(b, row, hi, start=lo):
+                    i = S(5)                   # grid row = row + 1
+                    b.op("addi", i, row, 1)
+                    # first interior column of this colour in row i:
+                    # j0 = 1 + ((i + colour) & 1)
+                    j = S(6)
+                    b.op("addi", j, i, colour)
+                    b.op("andi", j, j, 1)
+                    b.op("addi", j, j, 1)
+                    # address of u[i][j0]
+                    ua = S(8)
+                    b.op("muli", ua, i, G * 8)
+                    t1 = S(9)
+                    b.op("slli", t1, j, 3)
+                    b.op("add", ua, ua, t1)
+                    # UNROLL x 4: same-colour points are independent, so
+                    # the loads of four points issue back-to-back and the
+                    # update chains interleave -- the schedule a compiler
+                    # produces for a 2-way in-order core with decoupled
+                    # 10-cycle loads (paper Section 5).
+                    grp = S(10)
+                    gend = S(11)
+                    b.op("li", gend, (G - 2) // 8)
+                    up = [F(1), F(2), F(3), F(4)]
+                    dn = [F(5), F(6), F(7), F(8)]
+                    lf = [F(9), F(10), F(11), F(12)]
+                    rt = [F(13), F(14), F(15), F(16)]
+                    fc = [F(17), F(18), F(19), F(20)]
+                    with counted_loop(b, grp, gend):
+                        for q in range(4):
+                            o = q * 16
+                            b.op("fld", up[q], (b.addr_of("u") - G * 8 + o, ua))
+                            b.op("fld", dn[q], (b.addr_of("u") + G * 8 + o, ua))
+                            b.op("fld", lf[q], (b.addr_of("u") - 8 + o, ua))
+                            b.op("fld", rt[q], (b.addr_of("u") + 8 + o, ua))
+                            b.op("fld", fc[q], (b.addr_of("f") + o, ua))
+                        for q in range(4):
+                            b.op("fadd", up[q], up[q], dn[q])
+                            b.op("fadd", lf[q], lf[q], rt[q])
+                        for q in range(4):
+                            b.op("fmul", fc[q], fc[q], fh2)
+                            b.op("fadd", up[q], up[q], lf[q])
+                        for q in range(4):
+                            b.op("fsub", up[q], up[q], fc[q])
+                            b.op("fmul", up[q], up[q], fq)
+                        for q in range(4):
+                            b.op("fst", up[q], (b.addr_of("u") + q * 16, ua))
+                        b.op("addi", ua, ua, 64)
+                parallel_barrier(b)
+
+        # residual reduction: per-thread row partials (parallel, with
+        # four partial accumulators so the loads pipeline), then a tiny
+        # thread-0 combine -- SPLASH-2 ocean reduces in parallel too.
+        parts = b.data_f64("resid_parts", 8)
+        lo, hi, t0 = S(1), S(2), S(3)
+        emit_chunk(b, G - 2, lo, hi, t0)
+        accs = [F(1), F(2), F(3), F(4)]
+        for f in accs:
+            b.op("fli", f, 0.0)
+        row = S(4)
+        with counted_loop(b, row, hi, start=lo):
+            i = S(5)
+            b.op("addi", i, row, 1)
+            ua = S(6)
+            b.op("muli", ua, i, G * 8)
+            b.op("addi", ua, ua, b.addr_of("u") + 8)
+            grp, gend = S(7), S(8)
+            b.op("li", gend, (G - 2) // 4)
+            with counted_loop(b, grp, gend):
+                for q in range(4):
+                    b.op("fld", F(5 + q), (q * 8, ua))
+                for q in range(4):
+                    b.op("fadd", accs[q], accs[q], F(5 + q))
+                b.op("addi", ua, ua, 32)
+        b.op("fadd", accs[0], accs[0], accs[1])
+        b.op("fadd", accs[2], accs[2], accs[3])
+        b.op("fadd", accs[0], accs[0], accs[2])
+        pa = S(5)
+        b.op("slli", pa, R_TID, 3)
+        b.op("addi", pa, pa, parts.addr)
+        b.op("fst", accs[0], (0, pa))
+        parallel_barrier(b)
+        with serial_section(b):
+            acc = F(1)
+            b.op("fli", acc, 0.0)
+            pa = S(1)
+            b.op("li", pa, parts.addr)
+            t, tend = S(2), S(3)
+            b.op("li", tend, 8)
+            with counted_loop(b, t, tend):
+                b.op("fld", F(2), (0, pa))
+                b.op("fadd", acc, acc, F(2))
+                b.op("addi", pa, pa, 8)
+            b.op("li", S(4), b.addr_of("resid"))
+            b.op("fst", acc, (0, S(4)))
+        b.op("halt")
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    def _reference(self):
+        u = self._u0.copy()
+        f = self._f
+        for _ in range(ITERS):
+            for colour in (0, 1):
+                for i in range(1, G - 1):
+                    j0 = 1 + ((i + colour) & 1)
+                    for j in range(j0, G - 1, 2):
+                        u[i, j] = 0.25 * (u[i - 1, j] + u[i + 1, j]
+                                          + u[i, j - 1] + u[i, j + 1]
+                                          - H2 * f[i, j])
+        resid = u[1:G - 1, 1:G - 1].sum()
+        return u, resid
+
+    def verify(self, ex: Executor, program: Program) -> None:
+        want_u, want_r = self._reference()
+        got = ex.mem.read_f64_array(program.symbol_addr("u"),
+                                    G * G).reshape(G, G)
+        if not np.allclose(got, want_u, rtol=1e-12):
+            raise VerificationError("ocean: grid mismatch")
+        got_r = ex.mem.read_f64_array(program.symbol_addr("resid"), 1)[0]
+        # per-thread partial sums reorder the reduction; compare loosely
+        if not np.isclose(got_r, want_r, rtol=1e-9):
+            raise VerificationError("ocean: residual mismatch")

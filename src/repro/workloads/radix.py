@@ -1,0 +1,360 @@
+"""radix -- parallel LSD radix sort (SPLASH-2 structure)
+(Table 4: 6% vect, avg VL 62.3; parallel but essentially scalar).
+
+A stable least-significant-digit radix sort of 16-bit keys, 8 bits per
+pass, with the SPLASH-2 parallel structure the paper ran:
+
+1. **histogram** (parallel): each thread counts its chunk into four
+   private sub-histograms (even/odd interleaved streams), the classic
+   unroll-by-4 scheduling that lets an in-order core overlap its
+   long-latency loads;
+2. **bucket totals** (parallel): each thread owns a range of buckets and
+   computes, per bucket, the total count and each thread's exclusive
+   offset within the bucket;
+3. **global bases** (parallel): each thread derives the global base of
+   its bucket range by a redundant prefix walk and finalises the
+   per-thread start table;
+4. **scatter** (parallel, stable): each thread re-reads its chunk in
+   order and places keys via its start-table cursors (unrolled by two
+   with a same-bucket collision check);
+5. **checksums**: per-thread partial sums over three prefix lengths --
+   the vectorized fraction of radix (VL 64 strips with 52- and
+   24-element tails, matching Table 4's common VLs); ``scalar_only``
+   flavour computes the same sums with scalar loops (lane cores cannot
+   run vector code);
+6. a tiny thread-0 reduction of the checksum partials.
+
+The 1024-buckets-era working set of the paper is represented by sizing
+the sub-histograms plus key streams to overflow a 16 KB L1, so CMT
+threads miss to the banked L2 just as lane-core threads do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..functional.executor import Executor
+from ..isa.builder import ProgramBuilder, S, V
+from ..isa.program import Program
+from .base import VerificationError, Workload, register
+from .common import (R_NTID, R_TID, S0, counted_loop, emit_chunk,
+                     parallel_barrier, serial_section, spmd_prologue)
+
+N = 8192
+BITS = 8
+BUCKETS = 1 << BITS
+PASSES = 16 // BITS            # 16-bit keys
+MAXT = 8
+NSUB = 4                       # private sub-histograms per thread
+#: checksum prefix lengths: full, 64x64+52, 32x64+24
+CK_LENS = (N, 64 * 64 + 52, 32 * 64 + 24)
+
+
+@register
+class Radix(Workload):
+    """Stable parallel LSD radix sort; self-checks against np.sort."""
+
+    name = "radix"
+    vectorizable = True
+    # per pass: hist, totals, bases, scatter, ck-partials (all parallel),
+    # ck-reduce (serial)
+    parallel_phases = [True, True, True, True, True, False] * PASSES + [False]
+
+    def build(self, scalar_only: bool = False) -> Program:
+        rng = np.random.default_rng(17)
+        keys = rng.integers(0, 1 << 16, size=N, dtype=np.int64)
+        self._keys = keys
+
+        b = ProgramBuilder("radix", memory_kib=768)
+        b.data_i64("A", keys)
+        b.data_i64("B", N)
+        b.data_i64("hist", MAXT * NSUB * BUCKETS)
+        b.data_i64("start", MAXT * BUCKETS)
+        b.data_i64("btot", BUCKETS)
+        b.data_i64("ckpart", MAXT * len(CK_LENS))
+        b.data_i64("cksum", PASSES * len(CK_LENS))
+        spmd_prologue(b)
+
+        bufs = ["A", "B"]
+        for p in range(PASSES):
+            self._emit_pass(b, p, bufs[p % 2], bufs[(p + 1) % 2],
+                            scalar_only)
+        with serial_section(b):
+            pass  # final synchronisation point
+        b.op("halt")
+        return b.build()
+
+    # ------------------------------------------------------------------
+
+    def _emit_pass(self, b: ProgramBuilder, p: int, src: str, dst: str,
+                   scalar_only: bool) -> None:
+        shift = p * BITS
+        lo, hi, t0 = S(1), S(2), S(3)
+
+        # ================= phase 1: sub-histograms (parallel) ============
+        hb = S(5)      # this thread's hist base (4 sub-histograms)
+        b.op("muli", hb, R_TID, NSUB * BUCKETS * 8)
+        b.op("addi", hb, hb, b.addr_of("hist"))
+        # clear the four sub-histograms
+        d, dend = S(6), S(7)
+        b.op("li", dend, NSUB * BUCKETS)
+        addr = S(8)
+        b.mv(addr, hb)
+        with counted_loop(b, d, dend):
+            b.op("st", S0, (0, addr))
+            b.op("addi", addr, addr, 8)
+
+        emit_chunk(b, N, lo, hi, t0)
+        i = S(4)
+        ka = S(9)
+        b.op("slli", ka, lo, 3)
+        b.op("addi", ka, ka, b.addr_of(src))
+        # chunk sizes are multiples of NSUB (N and MAXT are powers of 2)
+        quads = S(6)
+        b.op("sub", quads, hi, lo)
+        b.op("srli", quads, quads, 2)
+        with counted_loop(b, i, quads):
+            ks = [S(10), S(11), S(12), S(13)]
+            for u in range(NSUB):
+                b.op("ld", ks[u], (u * 8, ka))
+            for u in range(NSUB):
+                b.op("srli", ks[u], ks[u], shift)
+                b.op("andi", ks[u], ks[u], BUCKETS - 1)
+                b.op("slli", ks[u], ks[u], 3)
+                # sub-histogram u: disjoint from the others, so the four
+                # count updates below are independent
+                b.op("addi", ks[u], ks[u], u * BUCKETS * 8)
+                b.op("add", ks[u], ks[u], hb)
+            cs = [S(14), S(15), S(16), S(17)]
+            for u in range(NSUB):
+                b.op("ld", cs[u], (0, ks[u]))
+            for u in range(NSUB):
+                b.op("addi", cs[u], cs[u], 1)
+                b.op("st", cs[u], (0, ks[u]))
+            b.op("addi", ka, ka, NSUB * 8)
+        parallel_barrier(b)
+
+        # ===== phase 2: bucket totals + per-thread relative offsets ======
+        # thread t owns buckets [t*RANGE, (t+1)*RANGE)
+        rng_lo, rng_hi = S(15), S(16)
+        rangesz = S(17)
+        b.op("li", rangesz, BUCKETS)
+        b.op("div", rangesz, rangesz, R_NTID)
+        b.op("mul", rng_lo, R_TID, rangesz)
+        b.op("add", rng_hi, rng_lo, rangesz)
+        with counted_loop(b, d, rng_hi, start=rng_lo):
+            doff = S(8)
+            b.op("slli", doff, d, 3)
+            run = S(9)
+            b.op("li", run, 0)
+            t, tend = S(10), S(11)
+            b.mv(tend, R_NTID)
+            vs = (S(18), S(19), S(20), S(21))
+            with counted_loop(b, t, tend):
+                ha = S(12)
+                b.op("muli", ha, t, NSUB * BUCKETS * 8)
+                b.op("add", ha, ha, doff)
+                # distinct destination registers so the four loads
+                # pipeline on an in-order lane core
+                for u in range(NSUB):
+                    b.op("ld", vs[u],
+                         (b.addr_of("hist") + u * BUCKETS * 8, ha))
+                tot = S(13)
+                b.op("add", tot, vs[0], vs[1])
+                b.op("add", tot, tot, vs[2])
+                b.op("add", tot, tot, vs[3])
+                sa = S(14)
+                b.op("muli", sa, t, BUCKETS * 8)
+                b.op("add", sa, sa, doff)
+                b.op("st", run, (b.addr_of("start"), sa))
+                b.op("add", run, run, tot)
+            b.op("st", run, (b.addr_of("btot"), doff))
+        parallel_barrier(b)
+
+        # ===== phase 3: global bucket bases (redundant prefix walk) ======
+        rangesz, rng_lo, rng_hi = S(15), S(16), S(17)
+        b.op("li", rangesz, BUCKETS)
+        b.op("div", rangesz, rangesz, R_NTID)
+        b.op("mul", rng_lo, R_TID, rangesz)
+        b.op("add", rng_hi, rng_lo, rangesz)
+        base = S(5)
+        b.op("li", base, 0)
+        ba = S(9)
+        b.op("li", ba, b.addr_of("btot"))
+        # rng_lo is a multiple of 4: walk four-wide with distinct
+        # registers so the loads pipeline
+        quads3 = S(8)
+        b.op("srli", quads3, rng_lo, 2)
+        vs = (S(18), S(19), S(20), S(21))
+        with counted_loop(b, d, quads3):
+            for u in range(4):
+                b.op("ld", vs[u], (u * 8, ba))
+            b.op("add", base, base, vs[0])
+            b.op("add", base, base, vs[1])
+            b.op("add", base, base, vs[2])
+            b.op("add", base, base, vs[3])
+            b.op("addi", ba, ba, 32)
+        with counted_loop(b, d, rng_hi, start=rng_lo):
+            doff = S(8)
+            b.op("slli", doff, d, 3)
+            tot = S(9)
+            b.op("ld", tot, (b.addr_of("btot"), doff))
+            t, tend = S(10), S(11)
+            b.mv(tend, R_NTID)
+            with counted_loop(b, t, tend):
+                sa = S(12)
+                b.op("muli", sa, t, BUCKETS * 8)
+                b.op("add", sa, sa, doff)
+                v = S(13)
+                b.op("ld", v, (b.addr_of("start"), sa))
+                b.op("add", v, v, base)
+                b.op("st", v, (b.addr_of("start"), sa))
+            b.op("add", base, base, tot)
+        parallel_barrier(b)
+
+        # ================= phase 4: stable scatter (parallel) ============
+        sa0 = S(5)
+        b.op("muli", sa0, R_TID, BUCKETS * 8)
+        b.op("addi", sa0, sa0, b.addr_of("start"))
+        emit_chunk(b, N, lo, hi, t0)
+        b.op("slli", ka, lo, 3)
+        b.op("addi", ka, ka, b.addr_of(src))
+        pairs = S(6)
+        b.op("sub", pairs, hi, lo)
+        b.op("srli", pairs, pairs, 1)
+        with counted_loop(b, i, pairs):
+            k0, k1 = S(10), S(11)
+            b.op("ld", k0, (0, ka))
+            b.op("ld", k1, (8, ka))
+            d0, d1 = S(12), S(13)
+            b.op("srli", d0, k0, shift)
+            b.op("andi", d0, d0, BUCKETS - 1)
+            b.op("srli", d1, k1, shift)
+            b.op("andi", d1, d1, BUCKETS - 1)
+            a0, a1 = S(14), S(15)
+            b.op("slli", a0, d0, 3)
+            b.op("add", a0, a0, sa0)
+            b.op("slli", a1, d1, 3)
+            b.op("add", a1, a1, sa0)
+            collide = b.genlabel(f"coll{p}")
+            done = b.genlabel(f"scdone{p}")
+            b.op("beq", d0, d1, collide)
+            off0, off1 = S(16), S(17)
+            b.op("ld", off0, (0, a0))
+            b.op("ld", off1, (0, a1))
+            w0, w1 = S(18), S(19)
+            b.op("slli", w0, off0, 3)
+            b.op("slli", w1, off1, 3)
+            b.op("st", k0, (b.addr_of(dst), w0))
+            b.op("st", k1, (b.addr_of(dst), w1))
+            b.op("addi", off0, off0, 1)
+            b.op("addi", off1, off1, 1)
+            b.op("st", off0, (0, a0))
+            b.op("st", off1, (0, a1))
+            b.op("j", done)
+            b.label(collide)                        # same bucket: sequential
+            b.op("ld", off0, (0, a0))
+            b.op("slli", w0, off0, 3)
+            b.op("st", k0, (b.addr_of(dst), w0))
+            b.op("st", k1, (b.addr_of(dst) + 8, w0))
+            b.op("addi", off0, off0, 2)
+            b.op("st", off0, (0, a0))
+            b.label(done)
+            b.op("addi", ka, ka, 16)
+        parallel_barrier(b)
+
+        # ===== phase 5: checksum partials over this thread's chunk ========
+        # thread t sums dst[lo, min(hi, L)) for each prefix length L
+        emit_chunk(b, N, lo, hi, t0)
+        for ci, ln in enumerate(CK_LENS):
+            up = S(5)
+            b.op("li", up, ln)
+            b.op("min", up, up, hi)
+            acc_s = S(6)
+            b.op("li", acc_s, 0)
+            if scalar_only:
+                # four-wide unrolled sum (chunk/prefix cuts are all
+                # multiples of 4 by construction) with distinct load
+                # registers, so the loads pipeline on a lane core
+                addr2 = S(7)
+                b.op("slli", addr2, lo, 3)
+                b.op("addi", addr2, addr2, b.addr_of(dst))
+                j = S(8)
+                q4 = S(9)
+                b.op("sub", q4, up, lo)
+                b.op("max", q4, q4, S0)
+                b.op("srli", q4, q4, 2)
+                vs = (S(10), S(11), S(12), S(13))
+                with counted_loop(b, j, q4):
+                    for u in range(4):
+                        b.op("ld", vs[u], (u * 8, addr2))
+                    b.op("add", acc_s, acc_s, vs[0])
+                    b.op("add", acc_s, acc_s, vs[1])
+                    b.op("add", acc_s, acc_s, vs[2])
+                    b.op("add", acc_s, acc_s, vs[3])
+                    b.op("addi", addr2, addr2, 32)
+            else:
+                rem, vl = S(7), S(8)
+                b.op("sub", rem, up, lo)
+                b.op("max", rem, rem, S0)
+                addr2 = S(9)
+                b.op("slli", addr2, lo, 3)
+                b.op("addi", addr2, addr2, b.addr_of(dst))
+                head = b.genlabel(f"ckl{p}_{ci}")
+                tail = b.genlabel(f"cke{p}_{ci}")
+                b.op("beq", rem, S0, tail)
+                b.label(head)
+                b.op("setvl", vl, rem)
+                b.op("vld", V(1), (0, addr2))
+                b.op("vredsum", S(10), V(1))
+                b.op("add", acc_s, acc_s, S(10))
+                b.op("slli", S(11), vl, 3)
+                b.op("add", addr2, addr2, S(11))
+                b.op("sub", rem, rem, vl)
+                b.op("bne", rem, S0, head)
+                b.label(tail)
+            slot = S(7)
+            b.op("muli", slot, R_TID, len(CK_LENS) * 8)
+            b.op("addi", slot, slot, ci * 8)
+            b.op("st", acc_s, (b.addr_of("ckpart"), slot))
+        parallel_barrier(b)
+
+        # ===== phase 6: reduce checksum partials (thread 0) ===============
+        with serial_section(b):
+            for ci in range(len(CK_LENS)):
+                acc_s = S(5)
+                b.op("li", acc_s, 0)
+                t, tend = S(6), S(7)
+                b.mv(tend, R_NTID)
+                with counted_loop(b, t, tend):
+                    slot = S(8)
+                    b.op("muli", slot, t, len(CK_LENS) * 8)
+                    b.op("addi", slot, slot, ci * 8)
+                    v = S(9)
+                    b.op("ld", v, (b.addr_of("ckpart"), slot))
+                    b.op("add", acc_s, acc_s, v)
+                out = S(8)
+                b.op("li", out, (p * len(CK_LENS) + ci) * 8)
+                b.op("st", acc_s, (b.addr_of("cksum"), out))
+
+    # ------------------------------------------------------------------
+
+    def verify(self, ex: Executor, program: Program) -> None:
+        keys = self._keys
+        mem = ex.mem
+        got = mem.read_i64_array(program.symbol_addr("A"), N)
+        want = np.sort(keys)
+        if not np.array_equal(got, want):
+            raise VerificationError("radix: output not sorted correctly")
+        cks = mem.read_i64_array(program.symbol_addr("cksum"),
+                                 PASSES * len(CK_LENS))
+        cur = keys.copy()
+        idx = 0
+        for p in range(PASSES):
+            digits = (cur >> (p * BITS)) & (BUCKETS - 1)
+            cur = cur[np.argsort(digits, kind="stable")]
+            for ln in CK_LENS:
+                if cks[idx] != int(cur[:ln].sum()):
+                    raise VerificationError(
+                        f"radix: checksum {idx} wrong (pass {p})")
+                idx += 1

@@ -1,0 +1,81 @@
+"""Area model: Tables 1-2 reproduction (exact arithmetic)."""
+
+import pytest
+
+from repro.area import AreaModel, COMPONENT_AREAS, table1_rows, table2_rows
+from repro.area.model import PAPER_TABLE2
+
+
+class TestTable1:
+    def test_component_constants(self):
+        c = COMPONENT_AREAS
+        assert c.su_2way == 5.7
+        assert c.su_4way == 20.9
+        assert c.vcl_2way == 2.1
+        assert c.vector_lane == 6.1
+        assert c.l2_4mb == 98.4
+
+    def test_base_processor_area(self):
+        assert COMPONENT_AREAS.base_processor(8) == pytest.approx(170.2)
+
+    def test_rows_render(self):
+        rows = table1_rows()
+        assert rows[-1][1] == pytest.approx(170.2)
+        assert len(rows) == 6
+
+
+class TestTable2:
+    @pytest.mark.parametrize("name,paper", [
+        ("V2-SMT", 0.8), ("V4-SMT", 1.3), ("V2-CMP", 12.3),
+        ("V2-CMP-h", 3.4), ("V4-CMP-h", 10.1), ("V4-CMT", 13.8),
+    ])
+    def test_matches_paper_within_rounding(self, name, paper):
+        m = AreaModel()
+        assert m.overhead_pct(name) == pytest.approx(paper, abs=0.15)
+
+    def test_v4cmp_matches_prose_not_table(self):
+        """The paper's Table 2 (26.9%) contradicts its own prose (37%);
+        the arithmetic gives 36.8%."""
+        m = AreaModel()
+        assert m.overhead_pct("V4-CMP") == pytest.approx(36.8, abs=0.1)
+        assert PAPER_TABLE2["V4-CMP"] == 26.9  # documented discrepancy
+
+    def test_table2_rows_carry_both(self):
+        rows = table2_rows()
+        names = [r[0] for r in rows]
+        assert names == ["V2-SMT", "V4-SMT", "V2-CMP", "V2-CMP-h",
+                         "V4-CMP", "V4-CMP-h", "V4-CMT"]
+        for _, ours, paper in rows:
+            assert ours > 0 and paper > 0
+
+
+class TestCMTComparisons:
+    def test_cmt_smaller_than_v4cmt_by_26pct(self):
+        """Section 5: the CMT (no vector unit) is ~26% smaller than the
+        VLT-capable V4-CMT."""
+        m = AreaModel()
+        ratio = 1 - m.config_area("CMT") / m.config_area("V4-CMT")
+        assert ratio == pytest.approx(0.26, abs=0.01)
+
+    def test_cmt_smaller_than_base(self):
+        m = AreaModel()
+        assert m.config_area("CMT") < m.base
+
+
+class TestValidation:
+    def test_unknown_config(self):
+        with pytest.raises(KeyError):
+            AreaModel().config_area("V16-MEGA")
+
+    def test_unsupported_su_width(self):
+        with pytest.raises(ValueError):
+            AreaModel().su_area(8)
+
+    def test_unsupported_smt_level(self):
+        with pytest.raises(ValueError):
+            AreaModel().su_area(4, 3)
+
+    def test_smt_penalties(self):
+        m = AreaModel()
+        assert m.su_area(4, 2) == pytest.approx(20.9 * 1.06)
+        assert m.su_area(4, 4) == pytest.approx(20.9 * 1.10)

@@ -1,0 +1,65 @@
+"""Assembler robustness: arbitrary input never crashes unexpectedly.
+
+Every input either assembles to a valid program or raises
+:class:`AssemblerError` / :class:`ValueError` with line context -- never
+an uncontrolled exception type.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import AssemblerError, assemble
+from repro.isa.opcodes import OPCODES
+
+_TEXT = st.text(alphabet=string.printable, max_size=200)
+
+
+class TestFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(src=_TEXT)
+    def test_random_text_fails_cleanly_or_assembles(self, src):
+        try:
+            prog = assemble(src + "\nhalt")
+        except (AssemblerError, ValueError):
+            return
+        assert prog.finalized
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        mnemonic=st.sampled_from(sorted(OPCODES)),
+        operands=st.lists(
+            st.sampled_from(["s1", "f2", "v3", "7", "1.5", "0(s2)", "vm",
+                             "label", "&x", "s99", "zzz"]),
+            max_size=4),
+    )
+    def test_random_operand_combinations(self, mnemonic, operands):
+        src = ".space x 64\nlabel:\n" + mnemonic + " " + \
+            ", ".join(operands) + "\nhalt"
+        try:
+            prog = assemble(src)
+        except (AssemblerError, ValueError):
+            return
+        assert len(prog.instrs) >= 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(lines=st.lists(
+        st.sampled_from([
+            "li s1, 5", "add s2, s1, s1", "fli f1, 2.0",
+            "fadd f2, f1, f1", "nop", "setvl s3, s1",
+            "vadd.vv v1, v2, v3", "lbl:", "beq s0, s0, lbl",
+        ]), min_size=1, max_size=25))
+    def test_valid_fragments_always_assemble(self, lines):
+        # forward/duplicate labels may legitimately fail; anything else
+        # must assemble
+        src = "\n".join(lines) + "\nhalt"
+        try:
+            prog = assemble(src)
+        except AssemblerError as exc:
+            assert "label" in str(exc) or "lbl" in str(exc)
+            return
+        except ValueError as exc:
+            assert "lbl" in str(exc) or "label" in str(exc)
+            return
+        assert prog.instrs[-1].spec.is_halt

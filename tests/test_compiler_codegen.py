@@ -1,0 +1,257 @@
+"""Code generation: compiled kernels verified against NumPy."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (Array, Assign, CompileOptions, Const, Kernel,
+                            Loop, Reduce, Var, compile_kernel, sqrt)
+from repro.functional import Executor
+
+
+def run(kernel, options=None, num_threads=1):
+    prog = compile_kernel(kernel, options)
+    ex = Executor(prog, num_threads=num_threads)
+    ex.run()
+    return ex, prog
+
+
+def read(ex, prog, name, count):
+    return ex.mem.read_f64_array(prog.symbol_addr(name), count)
+
+
+class TestElementwise:
+    def _axpy(self, n):
+        rng = np.random.default_rng(1)
+        xv, yv = rng.random(n), rng.random(n)
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        y = Array("y", (n,), yv)
+        z = Array("z", (n,))
+        kern = Kernel("axpy", [
+            Loop(i, n, [Assign(z[i], 2.5 * x[i] + y[i])], parallel=True)])
+        return kern, xv, yv
+
+    @pytest.mark.parametrize("n", [1, 7, 64, 65, 200])
+    def test_axpy_all_lengths(self, n):
+        kern, xv, yv = self._axpy(n)
+        ex, prog = run(kern)
+        assert np.allclose(read(ex, prog, "z", n), 2.5 * xv + yv)
+
+    @pytest.mark.parametrize("vectorize", [True, False])
+    def test_scalar_and_vector_paths_agree(self, vectorize):
+        kern, xv, yv = self._axpy(33)
+        ex, prog = run(kern, CompileOptions(vectorize=vectorize))
+        assert np.allclose(read(ex, prog, "z", 33), 2.5 * xv + yv)
+
+    def test_vector_path_emits_vector_ops(self):
+        kern, *_ = self._axpy(64)
+        prog_v = compile_kernel(kern)
+        assert any(i.spec.is_vector for i in prog_v.instrs)
+
+    def test_scalar_path_emits_no_vector_ops(self):
+        kern, *_ = self._axpy(64)
+        prog_s = compile_kernel(kern, CompileOptions(vectorize=False))
+        assert not any(i.spec.is_vector for i in prog_s.instrs)
+
+    def test_division_and_sqrt(self):
+        n = 48
+        rng = np.random.default_rng(2)
+        xv = rng.random(n) + 1.0
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        z = Array("z", (n,))
+        kern = Kernel("ds", [
+            Loop(i, n, [Assign(z[i], sqrt(x[i]) / (x[i] + 1.0))],
+                 parallel=True)])
+        ex, prog = run(kern)
+        assert np.allclose(read(ex, prog, "z", n),
+                           np.sqrt(xv) / (xv + 1.0))
+
+    def test_scalar_minus_vector(self):
+        n = 16
+        xv = np.arange(float(n))
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        z = Array("z", (n,))
+        kern = Kernel("rsub", [
+            Loop(i, n, [Assign(z[i], 10.0 - x[i])], parallel=True)])
+        ex, prog = run(kern)
+        assert np.allclose(read(ex, prog, "z", n), 10.0 - xv)
+
+    def test_scalar_divided_by_vector(self):
+        n = 16
+        xv = np.arange(1.0, n + 1)
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        z = Array("z", (n,))
+        kern = Kernel("rcp", [
+            Loop(i, n, [Assign(z[i], 1.0 / x[i])], parallel=True)])
+        ex, prog = run(kern)
+        assert np.allclose(read(ex, prog, "z", n), 1.0 / xv)
+
+
+class TestStrides:
+    def test_column_access_uses_strided_memory(self):
+        n = 12
+        rng = np.random.default_rng(3)
+        av = rng.random((n, n))
+        i, j = Var("i"), Var("j")
+        A = Array("A", (n, n), av)
+        z = Array("z", (n, n))
+        # vectorize i (stride n) with fixed j loop outside
+        kern = Kernel("col", [
+            Loop(j, n, [
+                Loop(i, n, [Assign(z[i, j], A[i, j] * 2.0)], parallel=True),
+            ]),
+        ])
+        prog = compile_kernel(kern, CompileOptions(policy="innermost"))
+        assert any(i_.op in ("vlds", "vsts") for i_ in prog.instrs)
+        ex = Executor(prog)
+        ex.run()
+        got = read(ex, prog, "z", n * n).reshape(n, n)
+        assert np.allclose(got, av * 2.0)
+
+
+class TestReductions:
+    def test_dot_product(self):
+        n = 100
+        rng = np.random.default_rng(4)
+        xv, yv = rng.random(n), rng.random(n)
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        y = Array("y", (n,), yv)
+        s = Array("s", (1,))
+        kern = Kernel("dot", [
+            Loop(i, n, [Reduce("+", s[0], x[i] * y[i])], parallel=True)])
+        ex, prog = run(kern)
+        assert np.isclose(read(ex, prog, "s", 1)[0], xv @ yv)
+
+    @pytest.mark.parametrize("op,ref", [("min", np.min), ("max", np.max)])
+    def test_min_max_reductions(self, op, ref):
+        n = 77
+        rng = np.random.default_rng(5)
+        xv = rng.standard_normal(n)
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        s = Array("s", (1,))
+        kern = Kernel("mm", [Loop(i, n, [Reduce(op, s[0], x[i])],
+                                  parallel=True)])
+        ex, prog = run(kern)
+        # target starts at 0.0, which participates in the reduction
+        want = ref(np.append(xv, 0.0))
+        assert np.isclose(read(ex, prog, "s", 1)[0], want)
+
+    def test_elementwise_accumulate(self):
+        n = 32
+        rng = np.random.default_rng(6)
+        xv = rng.random(n)
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        z = Array("z", (n,))
+        kern = Kernel("acc", [
+            Loop(i, n, [Reduce("+", z[i], x[i] * 3.0)], parallel=True)])
+        ex, prog = run(kern)
+        assert np.allclose(read(ex, prog, "z", n), xv * 3.0)
+
+
+class TestMatmulAndNests:
+    def test_matmul_matches_numpy(self):
+        m, k, n = 6, 5, 16
+        rng = np.random.default_rng(7)
+        av, bv = rng.random((m, k)), rng.random((k, n))
+        i, j, kk = Var("i"), Var("j"), Var("k")
+        A = Array("A", (m, k), av)
+        B = Array("B", (k, n), bv)
+        C = Array("C", (m, n))
+        kern = Kernel("mm", [
+            Loop(i, m, [
+                Loop(kk, k, [
+                    Loop(j, n, [Reduce("+", C[i, j], A[i, kk] * B[kk, j])],
+                         parallel=True)])], parallel=True)])
+        ex, prog = run(kern)
+        got = read(ex, prog, "C", m * n).reshape(m, n)
+        assert np.allclose(got, av @ bv)
+
+    def test_triangular_extents(self):
+        n = 12
+        i, j = Var("i"), Var("j")
+        A = Array("A", (n, n))
+        kern = Kernel("tri", [
+            Loop(i, n, [
+                Loop(j, i + 1, [Assign(A[i, j], Const(1.0))], parallel=True),
+            ], parallel=True)])
+        ex, prog = run(kern)
+        got = read(ex, prog, "A", n * n).reshape(n, n)
+        assert np.array_equal(got != 0, np.tril(np.ones((n, n))) != 0)
+
+
+class TestThreading:
+    @pytest.mark.parametrize("nt", [1, 2, 4, 8])
+    def test_threaded_elementwise(self, nt):
+        n = 100
+        rng = np.random.default_rng(8)
+        xv = rng.random(n)
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        z = Array("z", (n,))
+        kern = Kernel("t", [
+            Loop(i, n, [Assign(z[i], x[i] + 1.0)], parallel=True)])
+        ex, prog = run(kern, CompileOptions(threads=True), num_threads=nt)
+        assert np.allclose(read(ex, prog, "z", n), xv + 1.0)
+
+    def test_serial_statement_guarded(self):
+        # a serial statement between parallel loops executes once
+        n = 16
+        i = Var("i")
+        z = Array("z", (n,))
+        s = Array("s", (1,))
+        kern = Kernel("g", [
+            Loop(i, n, [Assign(z[i], Const(1.0))], parallel=True),
+            Reduce("+", s[0], Const(1.0)),
+            Loop(i, n, [Reduce("+", z[i], Const(1.0))], parallel=True),
+        ])
+        ex, prog = run(kern, CompileOptions(threads=True), num_threads=4)
+        assert read(ex, prog, "s", 1)[0] == 1.0  # not once per thread
+        assert np.allclose(read(ex, prog, "z", n), 2.0)
+
+    def test_time_loop_runs_redundantly_with_inner_parallel(self):
+        n, steps = 32, 5
+        i, t = Var("i"), Var("t")
+        z = Array("z", (n,))
+        kern = Kernel("time", [
+            Loop(t, steps, [
+                Loop(i, n, [Reduce("+", z[i], Const(1.0))], parallel=True),
+            ]),
+        ])
+        ex, prog = run(kern, CompileOptions(threads=True), num_threads=4)
+        assert np.allclose(read(ex, prog, "z", n), float(steps))
+
+    def test_vltcfg_emitted_for_threads(self):
+        n = 8
+        i = Var("i")
+        z = Array("z", (n,))
+        kern = Kernel("v", [Loop(i, n, [Assign(z[i], Const(1.0))],
+                                 parallel=True)])
+        prog = compile_kernel(kern, CompileOptions(threads=True))
+        assert prog.instrs[0].spec.is_vltcfg
+
+    def test_threaded_barriers_present(self):
+        n = 8
+        i = Var("i")
+        z = Array("z", (n,))
+        kern = Kernel("b", [Loop(i, n, [Assign(z[i], Const(1.0))],
+                                 parallel=True)])
+        prog = compile_kernel(kern, CompileOptions(threads=True))
+        assert any(ins.spec.is_barrier for ins in prog.instrs)
+
+
+class TestErrors:
+    def test_register_pressure_detected(self):
+        from repro.compiler import RegisterPressureError
+        n = 8
+        i = Var("i")
+        arrays = [Array(f"a{k}", (n,)) for k in range(40)]
+        body = [Assign(arr[i], Const(1.0)) for arr in arrays]
+        kern = Kernel("big", [Loop(i, n, body, parallel=True)])
+        with pytest.raises(RegisterPressureError):
+            compile_kernel(kern)

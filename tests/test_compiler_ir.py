@@ -1,0 +1,126 @@
+"""Compiler IR: affine algebra, references, strides, kernels."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (Affine, Array, Assign, Bin, Const, Kernel,
+                            LoadExpr, Loop, Reduce, Sqrt, Var, fmax, fmin,
+                            sqrt)
+
+
+class TestAffine:
+    def setup_method(self):
+        self.i = Var("i")
+        self.j = Var("j")
+
+    def test_var_arithmetic_builds_affine(self):
+        a = 2 * self.i + 3
+        assert isinstance(a, Affine)
+        assert a.coef(self.i) == 2
+        assert a.const == 3
+
+    def test_addition_merges_terms(self):
+        a = (self.i + self.j) + (self.i - 1)
+        assert a.coef(self.i) == 2
+        assert a.coef(self.j) == 1
+        assert a.const == -1
+
+    def test_zero_coefficients_dropped(self):
+        a = self.i - self.i
+        assert a.is_const
+        assert a.const == 0
+
+    def test_negation_and_rsub(self):
+        a = 5 - self.i
+        assert a.coef(self.i) == -1
+        assert a.const == 5
+
+    def test_scale_by_nonint_rejected(self):
+        with pytest.raises(TypeError):
+            self.i * 1.5
+
+    def test_of_conversions(self):
+        assert Affine.of(7).const == 7
+        assert Affine.of(self.i).coef(self.i) == 1
+        with pytest.raises(TypeError):
+            Affine.of("x")
+
+
+class TestRefs:
+    def setup_method(self):
+        self.i, self.j = Var("i"), Var("j")
+        self.A = Array("A", (10, 20))
+
+    def test_flat_affine_row_major(self):
+        r = self.A[self.i, self.j]
+        flat = r.flat_affine()
+        assert flat.coef(self.i) == 20
+        assert flat.coef(self.j) == 1
+
+    def test_stride_wrt(self):
+        r = self.A[self.i, self.j]
+        assert r.stride_wrt(self.i) == 20
+        assert r.stride_wrt(self.j) == 1
+        assert r.stride_wrt(Var("k")) == 0
+
+    def test_constant_offset(self):
+        r = self.A[self.i + 1, 2 * self.j + 3]
+        flat = r.flat_affine()
+        assert flat.const == 20 + 3
+        assert flat.coef(self.j) == 2
+
+    def test_subscript_arity_checked(self):
+        with pytest.raises(IndexError):
+            self.A[self.i]
+
+    def test_1d_array(self):
+        x = Array("x", (16,))
+        assert x[self.i].stride_wrt(self.i) == 1
+
+    def test_array_init_shape_checked(self):
+        with pytest.raises(ValueError):
+            Array("bad", (4,), np.zeros((2, 2)))
+
+
+class TestExpressions:
+    def setup_method(self):
+        self.i = Var("i")
+        self.x = Array("x", (8,))
+        self.y = Array("y", (8,))
+
+    def test_ref_arithmetic_promotes(self):
+        e = self.x[self.i] * self.y[self.i] + 1.0
+        assert isinstance(e, Bin)
+        assert e.op == "+"
+
+    def test_constants_wrapped(self):
+        e = 2.0 * self.x[self.i]
+        assert isinstance(e.a, Const)
+
+    def test_min_max_sqrt_helpers(self):
+        assert fmin(self.x[self.i], 0.0).op == "min"
+        assert fmax(1.0, self.x[self.i]).op == "max"
+        assert isinstance(sqrt(self.x[self.i]), Sqrt)
+
+    def test_reduce_op_validated(self):
+        with pytest.raises(ValueError):
+            Reduce("*", self.x[self.i], Const(1.0))
+
+
+class TestKernel:
+    def test_arrays_discovered_in_order(self):
+        i = Var("i")
+        a, b, c = Array("a", (8,)), Array("b", (8,)), Array("c", (8,))
+        k = Kernel("k", [
+            Loop(i, 8, [Assign(c[i], a[i] + b[i])], parallel=True)])
+        assert [arr.name for arr in k.arrays()] == ["c", "a", "b"]
+
+    def test_nested_and_reduce_arrays(self):
+        i, j = Var("i"), Var("j")
+        a = Array("a", (4, 4))
+        s = Array("s", (4, 1))
+        k = Kernel("k", [
+            Loop(i, 4, [
+                Loop(j, 4, [Reduce("+", s[i, 0], a[i, j])], parallel=True)],
+                parallel=True)])
+        assert {arr.name for arr in k.arrays()} == {"a", "s"}

@@ -1,0 +1,87 @@
+"""Property-based compiler tests: compiled kernels == NumPy evaluation.
+
+Random elementwise expression trees over a few arrays are compiled with
+every (policy, vectorize, threads) combination and executed; the result
+must match direct NumPy evaluation of the same tree.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import (Array, Assign, Bin, CompileOptions, Const,
+                            Kernel, LoadExpr, Loop, Var, compile_kernel)
+from repro.functional import Executor
+
+_OPS = ["+", "-", "*", "min", "max"]
+
+
+@st.composite
+def expr_tree(draw, arrays, var, depth=0):
+    """A random expression tree; returns (Expr, numpy evaluator)."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            arr, data = draw(st.sampled_from(arrays))
+            return LoadExpr(arr[var]), (lambda env, d=data: d)
+        val = draw(st.floats(min_value=-4, max_value=4,
+                             allow_nan=False).map(lambda x: round(x, 3)))
+        return Const(val), (lambda env, v=val: np.full(env, v))
+    op = draw(st.sampled_from(_OPS))
+    a, fa = draw(expr_tree(arrays, var, depth + 1))
+    b, fb = draw(expr_tree(arrays, var, depth + 1))
+
+    def ev(env, op=op, fa=fa, fb=fb):
+        x, y = fa(env), fb(env)
+        if op == "+":
+            return x + y
+        if op == "-":
+            return x - y
+        if op == "*":
+            return x * y
+        if op == "min":
+            return np.minimum(x, y)
+        return np.maximum(x, y)
+
+    return Bin(op, a, b), ev
+
+
+@st.composite
+def random_kernel(draw):
+    n = draw(st.integers(min_value=1, max_value=130))
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 16)))
+    arrays = []
+    for name in ("a", "b"):
+        data = np.round(rng.standard_normal(n), 4)
+        arrays.append((Array(name, (n,), data), data))
+    i = Var("i")
+    e, ev = draw(expr_tree(arrays, i))
+    z = Array("z", (n,))
+    kern = Kernel("rand", [Loop(i, n, [Assign(z[i], e)], parallel=True)])
+    return kern, ev, n
+
+
+class TestCompiledEqualsNumpy:
+    @settings(max_examples=30, deadline=None)
+    @given(data=random_kernel(),
+           vectorize=st.booleans(),
+           policy=st.sampled_from(["maxvl", "unitstride", "innermost"]))
+    def test_single_thread(self, data, vectorize, policy):
+        kern, ev, n = data
+        prog = compile_kernel(
+            kern, CompileOptions(vectorize=vectorize, policy=policy))
+        ex = Executor(prog)
+        ex.run()
+        got = ex.mem.read_f64_array(prog.symbol_addr("z"), n)
+        want = ev(n)
+        assert np.allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=random_kernel(),
+           nt=st.sampled_from([2, 4, 8]))
+    def test_threaded(self, data, nt):
+        kern, ev, n = data
+        prog = compile_kernel(kern, CompileOptions(threads=True))
+        ex = Executor(prog, num_threads=nt)
+        ex.run()
+        got = ex.mem.read_f64_array(prog.symbol_addr("z"), n)
+        assert np.allclose(got, ev(n), rtol=1e-12, atol=1e-12)

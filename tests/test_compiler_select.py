@@ -1,0 +1,86 @@
+"""Conditional (Select/Cmp) compilation: masked vector execution."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (Array, Assign, Cmp, CompileOptions, Const,
+                            Kernel, Loop, Select, Var, VectorizationError,
+                            compile_kernel)
+from repro.functional import Executor
+
+_NP_CMP = {"<": np.less, "<=": np.less_equal, "==": np.equal}
+
+
+def run_select(cond_op, n=70, vectorize=True, b_const=False):
+    rng = np.random.default_rng(11)
+    xv = np.round(rng.standard_normal(n), 4)
+    yv = np.round(rng.standard_normal(n), 4)
+    i = Var("i")
+    x = Array("x", (n,), xv)
+    y = Array("y", (n,), yv)
+    z = Array("z", (n,))
+    b_expr = Const(9.0) if b_const else y[i]._expr()
+    sel = Select(Cmp(cond_op, x[i]._expr(), Const(0.0)),
+                 x[i] * 2.0, b_expr)
+    kern = Kernel("sel", [Loop(i, n, [Assign(z[i], sel)], parallel=True)])
+    prog = compile_kernel(kern, CompileOptions(vectorize=vectorize))
+    ex = Executor(prog)
+    ex.run()
+    got = ex.mem.read_f64_array(prog.symbol_addr("z"), n)
+    mask = _NP_CMP[cond_op](xv, 0.0)
+    want = np.where(mask, xv * 2.0, 9.0 if b_const else yv)
+    return got, want, prog
+
+
+class TestSelect:
+    @pytest.mark.parametrize("op", ["<", "<=", "=="])
+    def test_vector_path(self, op):
+        got, want, prog = run_select(op)
+        assert np.allclose(got, want)
+        assert any(i.spec.writes_mask for i in prog.instrs)
+
+    @pytest.mark.parametrize("op", ["<", "<="])
+    def test_scalar_path(self, op):
+        got, want, prog = run_select(op, vectorize=False)
+        assert np.allclose(got, want)
+        assert not any(i.spec.is_vector for i in prog.instrs)
+
+    def test_scalar_else_operand_uses_merge_vs(self):
+        got, want, prog = run_select("<", b_const=True)
+        assert np.allclose(got, want)
+        assert any(i.op == "vfmerge.vs" for i in prog.instrs)
+
+    def test_select_inside_arithmetic(self):
+        n = 33
+        rng = np.random.default_rng(12)
+        xv = rng.standard_normal(n)
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        z = Array("z", (n,))
+        clamped = Select(Cmp("<", x[i]._expr(), Const(0.0)),
+                         Const(0.0), x[i]._expr())
+        kern = Kernel("relu", [
+            Loop(i, n, [Assign(z[i], clamped + 1.0)], parallel=True)])
+        prog = compile_kernel(kern)
+        ex = Executor(prog)
+        ex.run()
+        got = ex.mem.read_f64_array(prog.symbol_addr("z"), n)
+        assert np.allclose(got, np.where(xv < 0, 0.0, xv) + 1.0)
+
+    def test_nested_select_rejected(self):
+        n = 8
+        i = Var("i")
+        x = Array("x", (n,))
+        z = Array("z", (n,))
+        inner = Select(Cmp("<", x[i]._expr(), Const(0.0)),
+                       Const(0.0), Const(1.0))
+        outer = Select(Cmp("<", x[i]._expr(), Const(1.0)),
+                       inner, Const(2.0))
+        kern = Kernel("nest", [Loop(i, n, [Assign(z[i], outer)],
+                                    parallel=True)])
+        with pytest.raises(VectorizationError, match="nested"):
+            compile_kernel(kern)
+
+    def test_bad_comparison_op(self):
+        with pytest.raises(ValueError):
+            Cmp(">", Const(0.0), Const(1.0))

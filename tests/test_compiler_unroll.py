@@ -1,0 +1,80 @@
+"""Vector strip-loop unrolling (CompileOptions.unroll)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (Array, Assign, CompileOptions, Kernel, Loop,
+                            Reduce, Var, compile_kernel)
+from repro.functional import Executor
+from repro.timing import clear_trace_cache, simulate
+from repro.timing.config import BASE
+
+
+def axpy_kernel(n):
+    rng = np.random.default_rng(21)
+    xv, yv = rng.random(n), rng.random(n)
+    i = Var("i")
+    x = Array("x", (n,), xv)
+    y = Array("y", (n,), yv)
+    z = Array("z", (n,))
+    kern = Kernel("axpy", [
+        Loop(i, n, [Assign(z[i], 2.0 * x[i] + y[i])], parallel=True)])
+    return kern, xv, yv
+
+
+class TestUnrollCorrectness:
+    @pytest.mark.parametrize("n", [1, 63, 64, 65, 129, 256, 300])
+    @pytest.mark.parametrize("unroll", [1, 2, 4])
+    def test_all_lengths(self, n, unroll):
+        kern, xv, yv = axpy_kernel(n)
+        prog = compile_kernel(kern, CompileOptions(unroll=unroll))
+        ex = Executor(prog)
+        ex.run()
+        got = ex.mem.read_f64_array(prog.symbol_addr("z"), n)
+        assert np.allclose(got, 2.0 * xv + yv)
+
+    @pytest.mark.parametrize("unroll", [2, 4])
+    def test_reduction_with_unroll(self, unroll):
+        n = 300
+        rng = np.random.default_rng(22)
+        xv = rng.random(n)
+        i = Var("i")
+        x = Array("x", (n,), xv)
+        s = Array("s", (1,))
+        kern = Kernel("sum", [
+            Loop(i, n, [Reduce("+", s[0], x[i])], parallel=True)])
+        prog = compile_kernel(kern, CompileOptions(unroll=unroll))
+        ex = Executor(prog)
+        ex.run()
+        assert np.isclose(ex.mem.read_f64_array(prog.symbol_addr("s"), 1)[0],
+                          xv.sum())
+
+    def test_invalid_unroll(self):
+        with pytest.raises(ValueError):
+            CompileOptions(unroll=0)
+
+
+class TestUnrollEffect:
+    def test_fewer_dynamic_branches(self):
+        kern, *_ = axpy_kernel(1024)
+        p1 = compile_kernel(kern, CompileOptions(unroll=1))
+        p4 = compile_kernel(kern, CompileOptions(unroll=4))
+        from repro.functional import Executor as Ex
+
+        def branch_count(prog):
+            ex = Ex(prog)
+            trace = ex.run()
+            return sum(1 for o in trace.threads[0].ops
+                       if o.spec.is_branch)
+
+        assert branch_count(p4) < branch_count(p1)
+
+    def test_not_slower_on_long_arrays(self):
+        kern, *_ = axpy_kernel(2048)
+        p1 = compile_kernel(kern, CompileOptions(unroll=1))
+        p4 = compile_kernel(kern, CompileOptions(unroll=4))
+        clear_trace_cache()
+        c1 = simulate(p1, BASE).cycles
+        clear_trace_cache()
+        c4 = simulate(p4, BASE).cycles
+        assert c4 <= c1 * 1.05

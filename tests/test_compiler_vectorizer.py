@@ -1,0 +1,114 @@
+"""Vectorizer legality and the VL-vs-stride interchange policy."""
+
+import pytest
+
+from repro.compiler import (Array, Assign, Const, Kernel, Loop, Reduce, Var,
+                            body_vectorizable, choose_vector_loop)
+
+
+def elementwise(n=16, parallel=True):
+    i = Var("i")
+    x, y = Array("x", (n,)), Array("y", (n,))
+    return Loop(i, n, [Assign(y[i], x[i] * 2.0)], parallel=parallel), i
+
+
+class TestLegality:
+    def test_parallel_elementwise_ok(self):
+        loop, _ = elementwise()
+        assert body_vectorizable(loop) is None
+
+    def test_non_parallel_rejected(self):
+        loop, _ = elementwise(parallel=False)
+        assert "not marked parallel" in body_vectorizable(loop)
+
+    def test_pure_reduction_ok_without_parallel(self):
+        i = Var("i")
+        x = Array("x", (8,))
+        s = Array("s", (1,))
+        loop = Loop(i, 8, [Reduce("+", s[0], x[i])], parallel=False)
+        assert body_vectorizable(loop) is None
+
+    def test_invariant_assignment_target_rejected(self):
+        i = Var("i")
+        x = Array("x", (8,))
+        s = Array("s", (1,))
+        loop = Loop(i, 8, [Assign(s[0], x[i])], parallel=True)
+        assert "output dependence" in body_vectorizable(loop)
+
+    def test_outer_loop_not_innermost(self):
+        inner, i = elementwise()
+        j = Var("j")
+        outer = Loop(j, 4, [inner], parallel=True)
+        assert body_vectorizable(outer) == "not innermost"
+
+
+class TestSelection:
+    def _nest(self, n_outer, n_inner, outer_stride_one=False):
+        """A 2-deep parallel nest over a matrix; by construction the
+        inner loop is unit-stride unless ``outer_stride_one``."""
+        i, j = Var("i"), Var("j")
+        A = Array("A", (max(n_outer, n_inner), max(n_outer, n_inner)))
+        B = Array("B", (max(n_outer, n_inner), max(n_outer, n_inner)))
+        if outer_stride_one:
+            body = [Assign(B[j, i], A[j, i] + 1.0)]   # unit stride in i
+        else:
+            body = [Assign(B[i, j], A[i, j] + 1.0)]   # unit stride in j
+        inner = Loop(j, n_inner, body, parallel=True)
+        outer = Loop(i, n_outer, [inner], parallel=True)
+        return Kernel("nest", [outer]), outer, inner, i, j
+
+    def test_innermost_policy_never_interchanges(self):
+        kern, outer, inner, i, j = self._nest(64, 8)
+        chosen = choose_vector_loop(kern, "innermost")
+        assert chosen == [inner]
+        assert inner.var is j
+
+    def test_maxvl_interchanges_for_longer_vectors(self):
+        kern, outer, inner, i, j = self._nest(64, 8)
+        choose_vector_loop(kern, "maxvl")
+        # the 64-iteration loop is now innermost (vectorized)
+        assert inner.var is i
+        assert inner.extent == 64
+
+    def test_maxvl_keeps_inner_when_already_longest(self):
+        kern, outer, inner, i, j = self._nest(8, 64)
+        choose_vector_loop(kern, "maxvl")
+        assert inner.var is j
+
+    def test_unitstride_prefers_stride_one(self):
+        # inner loop short but unit-stride; outer long but strided:
+        # unitstride policy keeps the inner loop
+        kern, outer, inner, i, j = self._nest(64, 8)
+        choose_vector_loop(kern, "unitstride")
+        assert inner.var is j
+
+    def test_unitstride_interchanges_when_outer_is_contiguous(self):
+        kern, outer, inner, i, j = self._nest(8, 64, outer_stride_one=True)
+        choose_vector_loop(kern, "unitstride")
+        assert inner.var is i
+
+    def test_unknown_policy_rejected(self):
+        kern, *_ = self._nest(8, 8)
+        with pytest.raises(ValueError):
+            choose_vector_loop(kern, "fastest")
+
+    def test_imperfect_nest_not_interchanged(self):
+        i, j = Var("i"), Var("j")
+        A = Array("A", (64, 64))
+        s = Array("s", (64, 1))
+        inner = Loop(j, 8, [Assign(A[i, j], Const(1.0))], parallel=True)
+        outer = Loop(i, 64, [inner,
+                             Assign(s[i, 0], Const(0.0))], parallel=True)
+        kern = Kernel("imp", [outer])
+        choose_vector_loop(kern, "maxvl")
+        assert inner.var is j     # no interchange possible
+
+    def test_triangular_extent_not_interchanged(self):
+        i, j = Var("i"), Var("j")
+        A = Array("A", (32, 40))
+        inner = Loop(j, i + 4, [Assign(A[i, j], Const(1.0))], parallel=True)
+        outer = Loop(i, 32, [inner], parallel=True)
+        kern = Kernel("tri", [outer])
+        chosen = choose_vector_loop(kern, "maxvl")
+        assert chosen == [inner]
+        assert inner.var is j     # dynamic extents block interchange

@@ -1,0 +1,68 @@
+"""EXPERIMENTS.md generator: commentary logic on synthetic results."""
+
+from repro.harness.docgen import (_fig1_commentary, _fig3_commentary,
+                                  _fig5_commentary, _fig6_commentary)
+from repro.harness.experiments import (Fig1Result, Fig3Result, Fig5Result,
+                                       Fig6Result)
+
+
+class TestFig1Commentary:
+    def _result(self, sp8):
+        cycles = {app: [1000, int(1000 / s)] for app, s in sp8.items()}
+        return Fig1Result(lanes=(1, 8), cycles=cycles)
+
+    def test_all_pass(self):
+        res = self._result({"mxm": 5.0, "sage": 6.0, "trfd": 1.4,
+                            "radix": 1.0})
+        text = _fig1_commentary(res)
+        assert text.count("PASS") == 3 and "FAIL" not in text
+
+    def test_flat_scalar_violation_detected(self):
+        res = self._result({"mxm": 5.0, "sage": 6.0, "radix": 2.0})
+        assert "FAIL" in _fig1_commentary(res)
+
+
+class TestFig3Commentary:
+    def test_monotone_pass(self):
+        res = Fig3Result(cycles={
+            "a": {"base": 1000, 2: 600, 4: 450},
+            "b": {"base": 1000, 2: 800, 4: 500}})
+        text = _fig3_commentary(res)
+        assert "PASS" in text
+        assert "1.25-1.67" in text or "1.25" in text
+
+    def test_non_monotone_fails(self):
+        res = Fig3Result(cycles={"a": {"base": 1000, 2: 500, 4: 900}})
+        assert "FAIL" in _fig3_commentary(res)
+
+
+class TestFig5Commentary:
+    def test_paper_shape_passes(self):
+        res = Fig5Result(speedups={"a": {
+            "V2-SMT": 1.5, "V2-CMP": 1.55, "V4-SMT": 1.6,
+            "V4-CMT": 1.9, "V4-CMP": 2.0, "V4-CMP-h": 1.7}},
+            base_cycles={"a": 1000})
+        assert "PASS" in _fig5_commentary(res)
+
+    def test_deviation_reported_partial(self):
+        res = Fig5Result(speedups={"a": {
+            "V2-SMT": 1.0, "V2-CMP": 2.0, "V4-SMT": 2.5,
+            "V4-CMT": 1.5, "V4-CMP": 2.5, "V4-CMP-h": 1.0}},
+            base_cycles={"a": 1000})
+        assert "PARTIAL" in _fig5_commentary(res)
+
+
+class TestFig6Commentary:
+    def test_paper_shape(self):
+        res = Fig6Result(cycles={
+            "radix": {"CMT": 2000, "VLT": 1000},
+            "ocean": {"CMT": 2200, "VLT": 1000},
+            "barnes": {"CMT": 1100, "VLT": 1000}})
+        assert "PASS" in _fig6_commentary(res)
+
+    def test_direction_only_is_partial(self):
+        res = Fig6Result(cycles={
+            "radix": {"CMT": 1000, "VLT": 1050},
+            "ocean": {"CMT": 1450, "VLT": 1000},
+            "barnes": {"CMT": 950, "VLT": 1000}})
+        assert "PARTIAL" in _fig6_commentary(res)

@@ -1,0 +1,22 @@
+"""Smoke-run every example script (release-quality gate)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # every example reports results
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "vlt_short_vectors", "scalar_threads_on_lanes",
+            "compiler_tradeoff", "dynamic_reconfiguration"} <= names

@@ -1,0 +1,178 @@
+"""Control flow, threads, barriers, and executor error handling."""
+
+import numpy as np
+import pytest
+
+from repro.functional import ExecutionError, Executor
+from repro.isa import ProgramBuilder, S, assemble
+from tests.conftest import run_asm
+
+
+class TestBranches:
+    def test_loop_counts(self):
+        src = """
+        .space out 8
+        li s1, 0
+        li s2, 10
+        loop:
+        addi s1, s1, 1
+        blt s1, s2, loop
+        li s3, &out
+        st s1, 0(s3)
+        halt
+        """
+        _, ex, prog = run_asm(src)
+        assert ex.mem.load_i64(prog.symbol_addr("out")) == 10
+
+    def test_branch_taken_recorded_in_trace(self):
+        src = """
+        li s1, 1
+        beq s1, s0, skip
+        li s2, 2
+        skip:
+        halt
+        """
+        trace, _, _ = run_asm(src)
+        branches = [o for o in trace.threads[0].ops if o.spec.is_branch]
+        assert branches[0].taken is False
+
+    def test_jal_jr_roundtrip(self):
+        src = """
+        .space out 8
+        jal s10, func
+        li s2, &out
+        st s1, 0(s2)
+        halt
+        func:
+        li s1, 42
+        jr s10
+        """
+        _, ex, prog = run_asm(src)
+        assert ex.mem.load_i64(prog.symbol_addr("out")) == 42
+
+    def test_invalid_jump_target(self):
+        b = ProgramBuilder("bad", memory_kib=64)
+        b.op("li", S(1), 9999)
+        b.op("jr", S(1))
+        b.op("halt")
+        prog = b.build()
+        with pytest.raises(ExecutionError, match="invalid pc"):
+            Executor(prog).run()
+
+
+class TestThreads:
+    SRC = """
+    .space out 64
+    tid s1
+    ntid s2
+    slli s3, s1, 3
+    li s4, &out
+    add s4, s4, s3
+    st s2, 0(s4)
+    barrier
+    halt
+    """
+
+    @pytest.mark.parametrize("nt", [1, 2, 4, 8])
+    def test_tid_ntid(self, nt):
+        _, ex, prog = run_asm(self.SRC, num_threads=nt)
+        out = ex.mem.read_i64_array(prog.symbol_addr("out"), 8)
+        assert out[:nt].tolist() == [nt] * nt
+        assert out[nt:].tolist() == [0] * (8 - nt)
+
+    def test_barrier_orders_phases(self):
+        # thread 1 reads what thread 0 wrote before the barrier
+        src = """
+        .space a 8
+        .space out 8
+        tid s1
+        bne s1, s0, wait
+        li s2, 123
+        li s3, &a
+        st s2, 0(s3)
+        wait:
+        barrier
+        li s4, 1
+        bne s1, s4, done
+        li s5, &a
+        ld s6, 0(s5)
+        li s7, &out
+        st s6, 0(s7)
+        done:
+        halt
+        """
+        _, ex, prog = run_asm(src, num_threads=2)
+        assert ex.mem.load_i64(prog.symbol_addr("out")) == 123
+
+    def test_barrier_deadlock_detected(self):
+        # thread 0 skips the barrier that thread 1 waits at
+        src = """
+        tid s1
+        bne s1, s0, dowait
+        halt
+        dowait:
+        barrier
+        halt
+        """
+        prog = assemble(src)
+        with pytest.raises(ExecutionError, match="deadlock"):
+            Executor(prog, num_threads=2).run()
+
+    def test_runaway_guard(self):
+        src = """
+        loop:
+        j loop
+        halt
+        """
+        prog = assemble(src)
+        with pytest.raises(ExecutionError, match="dynamic instructions"):
+            Executor(prog, max_ops=1000).run()
+
+    def test_num_threads_validated(self):
+        prog = assemble("halt")
+        with pytest.raises(ValueError):
+            Executor(prog, num_threads=0)
+
+    def test_unfinalized_program_rejected(self):
+        from repro.isa.program import Program
+        with pytest.raises(ValueError):
+            Executor(Program())
+
+
+class TestTraceRecording:
+    def test_vltcfg_in_trace(self):
+        trace, _, _ = run_asm("vltcfg 4\nhalt")
+        ops = trace.threads[0].ops
+        assert ops[0].spec.is_vltcfg and ops[0].imm == 4
+
+    def test_record_trace_off(self):
+        prog = assemble("li s1, 5\nhalt")
+        ex = Executor(prog, record_trace=False)
+        trace = ex.run()
+        assert trace.total_ops() == 0
+
+    def test_counts(self):
+        src = """
+        li s1, 4
+        setvl s2, s1
+        vadd.vv v1, v2, v3
+        halt
+        """
+        trace, _, _ = run_asm(src)
+        c = trace.merged_counts()
+        assert c["vector"] == 1
+        assert c["element_ops"] == 4
+        assert c["total"] == 4
+
+    def test_vector_lengths(self):
+        src = """
+        li s1, 4
+        setvl s2, s1
+        vadd.vv v1, v2, v3
+        li s1, 7
+        setvl s2, s1
+        vadd.vv v1, v2, v3
+        halt
+        """
+        trace, _, _ = run_asm(src)
+        assert trace.threads[0].vector_lengths().tolist() == [4, 7]

@@ -1,0 +1,91 @@
+"""Simulated memory: scalar/vector access, alignment, bounds."""
+
+import numpy as np
+import pytest
+
+from repro.functional.memory import Memory, MemoryFault, MisalignedAccess
+
+
+@pytest.fixture
+def mem():
+    return Memory(np.zeros(1024, dtype=np.uint8))
+
+
+class TestScalar:
+    def test_i64_roundtrip(self, mem):
+        mem.store_i64(16, -12345)
+        assert mem.load_i64(16) == -12345
+
+    def test_i64_wraps_to_signed(self, mem):
+        mem.store_i64(0, 1 << 63)
+        assert mem.load_i64(0) == -(1 << 63)
+
+    def test_f64_roundtrip(self, mem):
+        mem.store_f64(8, 3.14159)
+        assert mem.load_f64(8) == 3.14159
+
+    def test_bits_shared_between_views(self, mem):
+        mem.store_f64(0, 1.0)
+        assert mem.load_i64(0) == 0x3FF0000000000000
+
+    @pytest.mark.parametrize("addr", [1, 7, 9, 1023])
+    def test_misaligned_raises(self, mem, addr):
+        with pytest.raises(MisalignedAccess):
+            mem.load_i64(addr)
+
+    @pytest.mark.parametrize("addr", [-8, 1024, 100000])
+    def test_out_of_bounds_raises(self, mem, addr):
+        with pytest.raises(MemoryFault):
+            mem.load_i64(addr)
+
+
+class TestVector:
+    def test_gather(self, mem):
+        for i in range(8):
+            mem.store_i64(i * 8, i * 100)
+        addrs = np.array([0, 24, 48], dtype=np.int64)
+        assert mem.gather_i64(addrs).tolist() == [0, 300, 600]
+
+    def test_scatter(self, mem):
+        addrs = np.array([8, 40], dtype=np.int64)
+        mem.scatter_i64(addrs, np.array([11, 22], dtype=np.int64))
+        assert mem.load_i64(8) == 11
+        assert mem.load_i64(40) == 22
+
+    def test_scatter_duplicate_last_wins(self, mem):
+        addrs = np.array([16, 16], dtype=np.int64)
+        mem.scatter_i64(addrs, np.array([1, 2], dtype=np.int64))
+        assert mem.load_i64(16) == 2
+
+    def test_vector_misaligned(self, mem):
+        with pytest.raises(MisalignedAccess):
+            mem.gather_i64(np.array([8, 12], dtype=np.int64))
+
+    def test_vector_bounds(self, mem):
+        with pytest.raises(MemoryFault):
+            mem.gather_i64(np.array([0, 2048], dtype=np.int64))
+
+    def test_empty_vector_access(self, mem):
+        assert mem.gather_i64(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_read_helpers(self, mem):
+        mem.store_f64(64, 2.5)
+        mem.store_i64(72, 7)
+        assert mem.read_f64_array(64, 1)[0] == 2.5
+        assert mem.read_i64_array(72, 1)[0] == 7
+
+    def test_read_helpers_return_copies(self, mem):
+        mem.store_i64(0, 5)
+        arr = mem.read_i64_array(0, 1)
+        arr[0] = 99
+        assert mem.load_i64(0) == 5
+
+
+class TestConstruction:
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            Memory(np.zeros(64, dtype=np.int64))
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            Memory(np.zeros(13, dtype=np.uint8))

@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for the functional simulator.
+
+The key invariant: straight-line vector programs agree with NumPy
+elementwise semantics for arbitrary inputs, vector lengths, and operator
+sequences; integer arithmetic wraps to 64 bits exactly like int64.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional import Executor
+from repro.isa import F, ProgramBuilder, S, V
+from repro.isa.registers import MVL
+
+I64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+SMALL = st.integers(min_value=-10 ** 6, max_value=10 ** 6)
+
+_INT_OPS = {
+    "vadd.vv": lambda a, b: a + b,
+    "vsub.vv": lambda a, b: a - b,
+    "vmul.vv": lambda a, b: a * b,
+    "vand.vv": lambda a, b: a & b,
+    "vor.vv": lambda a, b: a | b,
+    "vxor.vv": lambda a, b: a ^ b,
+    "vmin.vv": np.minimum,
+    "vmax.vv": np.maximum,
+}
+
+
+def _run_int_chain(xs, ys, ops):
+    n = len(xs)
+    b = ProgramBuilder("prop", memory_kib=64)
+    b.data_i64("x", np.array(xs, dtype=np.int64))
+    b.data_i64("y", np.array(ys, dtype=np.int64))
+    b.space("out", MVL * 8)
+    b.op("li", S(1), n)
+    b.op("setvl", S(2), S(1))
+    b.la(S(3), "x")
+    b.la(S(4), "y")
+    b.op("vld", V(1), (0, S(3)))
+    b.op("vld", V(2), (0, S(4)))
+    for op in ops:
+        b.op(op, V(1), V(1), V(2))
+    b.la(S(5), "out")
+    b.op("vst", V(1), (0, S(5)))
+    b.op("halt")
+    prog = b.build()
+    ex = Executor(prog)
+    ex.run()
+    return ex.mem.read_i64_array(prog.symbol_addr("out"), n)
+
+
+class TestIntVectorAgainstNumpy:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        xs=st.lists(I64, min_size=1, max_size=MVL),
+        ops=st.lists(st.sampled_from(sorted(_INT_OPS)), min_size=1,
+                     max_size=5),
+        ys=st.lists(I64, min_size=MVL, max_size=MVL),
+    )
+    def test_chain_matches_numpy(self, xs, ops, ys):
+        n = len(xs)
+        ys = ys[:n]
+        got = _run_int_chain(xs, ys, ops)
+        a = np.array(xs, dtype=np.int64)
+        bb = np.array(ys, dtype=np.int64)
+        with np.errstate(over="ignore"):
+            for op in ops:
+                a = _INT_OPS[op](a, bb).astype(np.int64)
+        assert np.array_equal(got, a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=I64, b=I64)
+    def test_scalar_add_wraps_like_int64(self, a, b):
+        b_ = ProgramBuilder("w", memory_kib=64)
+        b_.space("out", 8)
+        b_.op("li", S(1), a)
+        b_.op("li", S(2), b)
+        b_.op("add", S(3), S(1), S(2))
+        b_.la(S(4), "out")
+        b_.op("st", S(3), (0, S(4)))
+        b_.op("halt")
+        prog = b_.build()
+        ex = Executor(prog)
+        ex.run()
+        with np.errstate(over="ignore"):
+            want = int(np.int64(a) + np.int64(b))
+        assert ex.mem.load_i64(prog.symbol_addr("out")) == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=SMALL, b=SMALL)
+    def test_div_rem_identity(self, a, b):
+        b_ = ProgramBuilder("d", memory_kib=64)
+        b_.space("out", 16)
+        b_.op("li", S(1), a)
+        b_.op("li", S(2), b)
+        b_.op("div", S(3), S(1), S(2))
+        b_.op("rem", S(4), S(1), S(2))
+        b_.la(S(5), "out")
+        b_.op("st", S(3), (0, S(5)))
+        b_.op("st", S(4), (8, S(5)))
+        b_.op("halt")
+        prog = b_.build()
+        ex = Executor(prog)
+        ex.run()
+        q = ex.mem.load_i64(prog.symbol_addr("out"))
+        r = ex.mem.load_i64(prog.symbol_addr("out") + 8)
+        if b == 0:
+            assert q == 0 and r == 0
+        else:
+            assert q * b + r == a          # division identity
+            assert abs(r) < abs(b)
+            assert q == int(a / b)          # truncation toward zero
+
+
+class TestMaskProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(xs=st.lists(SMALL, min_size=1, max_size=MVL), thresh=SMALL)
+    def test_merge_equals_numpy_where(self, xs, thresh):
+        n = len(xs)
+        b = ProgramBuilder("m", memory_kib=64)
+        b.data_i64("x", np.array(xs, dtype=np.int64))
+        b.space("out", MVL * 8)
+        b.op("li", S(1), n)
+        b.op("setvl", S(2), S(1))
+        b.la(S(3), "x")
+        b.op("vld", V(1), (0, S(3)))
+        b.op("li", S(4), thresh)
+        b.op("vslt.vs", V(1), S(4))
+        b.op("li", S(5), -1)
+        b.op("vmerge.vs", V(2), V(1), S(5))
+        b.la(S(6), "out")
+        b.op("vst", V(2), (0, S(6)))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        got = ex.mem.read_i64_array(prog.symbol_addr("out"), n)
+        arr = np.array(xs, dtype=np.int64)
+        want = np.where(arr < thresh, arr, -1)
+        assert np.array_equal(got, want)
+
+    @settings(max_examples=40, deadline=None)
+    @given(xs=st.lists(SMALL, min_size=1, max_size=MVL))
+    def test_popcount_plus_complement(self, xs):
+        """vmpop(mask) + vmpop(inverted condition) == vl."""
+        n = len(xs)
+        b = ProgramBuilder("p", memory_kib=64)
+        b.data_i64("x", np.array(xs, dtype=np.int64))
+        b.space("out", 16)
+        b.op("li", S(1), n)
+        b.op("setvl", S(2), S(1))
+        b.la(S(3), "x")
+        b.op("vld", V(1), (0, S(3)))
+        b.op("vslt.vs", V(1), S(0))
+        b.op("vmpop", S(4))
+        b.op("vsle.vs", V(1), S(0))   # complement boundary overlaps at == 0
+        b.op("vmpop", S(5))
+        b.la(S(6), "out")
+        b.op("st", S(4), (0, S(6)))
+        b.op("st", S(5), (8, S(6)))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        neg = ex.mem.load_i64(prog.symbol_addr("out"))
+        nonpos = ex.mem.load_i64(prog.symbol_addr("out") + 8)
+        arr = np.array(xs, dtype=np.int64)
+        assert neg == int((arr < 0).sum())
+        assert nonpos == int((arr <= 0).sum())
+
+
+class TestReductionProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(xs=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                 width=32),
+                       min_size=1, max_size=MVL))
+    def test_minmax_bounds_elements(self, xs):
+        n = len(xs)
+        b = ProgramBuilder("r", memory_kib=64)
+        b.data_f64("x", np.array(xs))
+        b.space("out", 16)
+        b.op("li", S(1), n)
+        b.op("setvl", S(2), S(1))
+        b.la(S(3), "x")
+        b.op("vld", V(1), (0, S(3)))
+        b.op("vfredmin", F(1), V(1))
+        b.op("vfredmax", F(2), V(1))
+        b.la(S(4), "out")
+        b.op("fst", F(1), (0, S(4)))
+        b.op("fst", F(2), (8, S(4)))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        lo = ex.mem.load_f64(prog.symbol_addr("out"))
+        hi = ex.mem.load_f64(prog.symbol_addr("out") + 8)
+        assert lo == min(xs)
+        assert hi == max(xs)

@@ -1,0 +1,188 @@
+"""Scalar instruction semantics, exercised through tiny programs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from tests.conftest import run_asm
+
+
+def run_int_op(op: str, a: int, b: int) -> int:
+    src = f"""
+    .space out 8
+    li s1, {a}
+    li s2, {b}
+    {op} s3, s1, s2
+    li s4, &out
+    st s3, 0(s4)
+    halt
+    """
+    _, ex, prog = run_asm(src)
+    return ex.mem.load_i64(prog.symbol_addr("out"))
+
+
+def run_fp_op(body: str, consts=()) -> float:
+    lines = [f"fli f{i + 1}, {v}" for i, v in enumerate(consts)]
+    src = ".space out 8\n" + "\n".join(lines) + f"""
+    {body}
+    li s9, &out
+    fst f9, 0(s9)
+    halt
+    """
+    _, ex, prog = run_asm(src)
+    return ex.mem.load_f64(prog.symbol_addr("out"))
+
+
+class TestIntegerOps:
+    @pytest.mark.parametrize("op,a,b,want", [
+        ("add", 5, 7, 12),
+        ("sub", 5, 7, -2),
+        ("mul", -3, 9, -27),
+        ("div", 17, 5, 3),
+        ("div", -17, 5, -3),        # truncation toward zero
+        ("div", 17, -5, -3),
+        ("div", 5, 0, 0),           # div-by-zero convention
+        ("rem", 17, 5, 2),
+        ("rem", -17, 5, -2),
+        ("rem", 5, 0, 0),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("sll", 3, 4, 48),
+        ("sll", 1, 64, 1),          # shift amounts use low 6 bits
+        ("srl", -1, 60, 15),
+        ("sra", -16, 2, -4),
+        ("slt", 2, 3, 1),
+        ("slt", 3, 2, 0),
+        ("sle", 3, 3, 1),
+        ("seq", 4, 4, 1),
+        ("sne", 4, 4, 0),
+        ("min", -5, 3, -5),
+        ("max", -5, 3, 3),
+    ])
+    def test_table(self, op, a, b, want):
+        assert run_int_op(op, a, b) == want
+
+    def test_add_wraps_64bit(self):
+        big = (1 << 62) + ((1 << 62) - 1)
+        assert run_int_op("add", 1 << 62, (1 << 62) - 1) == big
+        # overflow wraps
+        assert run_int_op("add", (1 << 62), (1 << 62)) == -(1 << 63)
+
+    def test_mul_wraps(self):
+        assert run_int_op("mul", 1 << 62, 4) == 0
+
+    @pytest.mark.parametrize("op,imm,want", [
+        ("addi", 5, 15), ("muli", 3, 30), ("andi", 8, 8), ("ori", 5, 15),
+        ("xori", 2, 8), ("slli", 2, 40), ("srli", 1, 5), ("srai", 1, 5),
+        ("slti", 11, 1), ("slti", 10, 0),
+    ])
+    def test_immediates(self, op, imm, want):
+        src = f"""
+        .space out 8
+        li s1, 10
+        {op} s2, s1, {imm}
+        li s3, &out
+        st s2, 0(s3)
+        halt
+        """
+        _, ex, prog = run_asm(src)
+        assert ex.mem.load_i64(prog.symbol_addr("out")) == want
+
+    def test_s0_is_hardwired_zero(self):
+        src = """
+        .space out 8
+        li s0, 99
+        li s1, &out
+        st s0, 0(s1)
+        halt
+        """
+        _, ex, prog = run_asm(src)
+        assert ex.mem.load_i64(prog.symbol_addr("out")) == 0
+
+
+class TestFloatOps:
+    @pytest.mark.parametrize("body,consts,want", [
+        ("fadd f9, f1, f2", (1.5, 2.25), 3.75),
+        ("fsub f9, f1, f2", (1.5, 2.25), -0.75),
+        ("fmul f9, f1, f2", (1.5, 2.0), 3.0),
+        ("fdiv f9, f1, f2", (7.0, 2.0), 3.5),
+        ("fmin f9, f1, f2", (7.0, 2.0), 2.0),
+        ("fmax f9, f1, f2", (7.0, 2.0), 7.0),
+        ("fsqrt f9, f1", (9.0,), 3.0),
+        ("fabs f9, f1", (-4.5,), 4.5),
+        ("fneg f9, f1", (4.5,), -4.5),
+        ("fmv f9, f1", (4.5,), 4.5),
+    ])
+    def test_table(self, body, consts, want):
+        assert run_fp_op(body, consts) == want
+
+    def test_fdiv_by_zero_is_inf(self):
+        assert run_fp_op("fdiv f9, f1, f2", (1.0, 0.0)) == math.inf
+
+    def test_fsqrt_negative_is_nan(self):
+        assert math.isnan(run_fp_op("fsqrt f9, f1", (-1.0,)))
+
+    @pytest.mark.parametrize("op,a,b,want", [
+        ("feq", 2.0, 2.0, 1), ("feq", 2.0, 3.0, 0),
+        ("flt", 2.0, 3.0, 1), ("fle", 3.0, 3.0, 1), ("flt", 3.0, 3.0, 0),
+    ])
+    def test_compares(self, op, a, b, want):
+        src = f"""
+        .space out 8
+        fli f1, {a}
+        fli f2, {b}
+        {op} s1, f1, f2
+        li s2, &out
+        st s1, 0(s2)
+        halt
+        """
+        _, ex, prog = run_asm(src)
+        assert ex.mem.load_i64(prog.symbol_addr("out")) == want
+
+    def test_conversions(self):
+        src = """
+        .space out 16
+        li s1, -7
+        itof f1, s1
+        fli f2, 3.99
+        ftoi s2, f2
+        li s3, &out
+        fst f1, 0(s3)
+        st s2, 8(s3)
+        halt
+        """
+        _, ex, prog = run_asm(src)
+        out = prog.symbol_addr("out")
+        assert ex.mem.load_f64(out) == -7.0
+        assert ex.mem.load_i64(out + 8) == 3  # truncation
+
+
+class TestLoadsStores:
+    def test_ld_st_with_offsets(self):
+        src = """
+        .i64 a 10 20 30
+        .space out 8
+        li s1, &a
+        ld s2, 8(s1)
+        addi s2, s2, 1
+        li s3, &out
+        st s2, 0(s3)
+        halt
+        """
+        _, ex, prog = run_asm(src)
+        assert ex.mem.load_i64(prog.symbol_addr("out")) == 21
+
+    def test_fld_fst(self):
+        src = """
+        .f64 a 1.25 2.5
+        .space out 8
+        li s1, &a
+        fld f1, 8(s1)
+        li s2, &out
+        fst f1, 0(s2)
+        halt
+        """
+        _, ex, prog = run_asm(src)
+        assert ex.mem.load_f64(prog.symbol_addr("out")) == 2.5

@@ -1,0 +1,382 @@
+"""Vector instruction semantics against NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.functional import Executor
+from repro.isa import F, ProgramBuilder, S, V
+from repro.isa.registers import MVL
+
+
+def vec_program(setup, n=8):
+    """Builder preloaded with input arrays x (i64), xf (f64), y, yf and
+    an output area; ``setup(b)`` emits the body.  Returns (ex, prog)."""
+    rng = np.random.default_rng(99)
+    xi = rng.integers(-1000, 1000, size=n, dtype=np.int64)
+    yi = rng.integers(-1000, 1000, size=n, dtype=np.int64)
+    xf = rng.standard_normal(n)
+    yf = rng.standard_normal(n)
+    b = ProgramBuilder("vec", memory_kib=64)
+    b.data_i64("x", xi)
+    b.data_i64("y", yi)
+    b.data_f64("xf", xf)
+    b.data_f64("yf", yf)
+    b.space("out", max(n, MVL) * 8)
+    b.op("li", S(1), n)
+    b.op("setvl", S(2), S(1))
+    b.la(S(3), "x")
+    b.la(S(4), "y")
+    b.la(S(5), "xf")
+    b.la(S(6), "yf")
+    b.la(S(7), "out")
+    b.op("vld", V(1), (0, S(3)))
+    b.op("vld", V(2), (0, S(4)))
+    b.op("vld", V(3), (0, S(5)))   # fp bits
+    b.op("vld", V(4), (0, S(6)))
+    setup(b)
+    b.op("halt")
+    prog = b.build()
+    ex = Executor(prog, num_threads=1)
+    ex.run()
+    return ex, prog, xi, yi, xf, yf
+
+
+def out_i64(ex, prog, n=8):
+    return ex.mem.read_i64_array(prog.symbol_addr("out"), n)
+
+
+def out_f64(ex, prog, n=8):
+    return ex.mem.read_f64_array(prog.symbol_addr("out"), n)
+
+
+class TestIntegerVector:
+    @pytest.mark.parametrize("op,ref", [
+        ("vadd.vv", lambda a, b: a + b),
+        ("vsub.vv", lambda a, b: a - b),
+        ("vmul.vv", lambda a, b: a * b),
+        ("vand.vv", lambda a, b: a & b),
+        ("vor.vv", lambda a, b: a | b),
+        ("vxor.vv", lambda a, b: a ^ b),
+        ("vmin.vv", np.minimum),
+        ("vmax.vv", np.maximum),
+    ])
+    def test_vv(self, op, ref):
+        def body(b):
+            b.op(op, V(5), V(1), V(2))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, yi, *_ = vec_program(body)
+        assert np.array_equal(out_i64(ex, prog), ref(xi, yi))
+
+    def test_vdiv_truncates_and_guards_zero(self):
+        def body(b):
+            b.op("vdiv.vv", V(5), V(1), V(2))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, yi, *_ = vec_program(body)
+        want = np.where(yi != 0, (np.abs(xi) // np.abs(np.where(yi == 0, 1, yi)))
+                        * np.sign(xi) * np.sign(np.where(yi == 0, 1, yi)), 0)
+        assert np.array_equal(out_i64(ex, prog), want)
+
+    def test_vs_broadcast(self):
+        def body(b):
+            b.op("li", S(8), 5)
+            b.op("vadd.vs", V(5), V(1), S(8))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        assert np.array_equal(out_i64(ex, prog), xi + 5)
+
+    def test_vrsub(self):
+        def body(b):
+            b.op("li", S(8), 100)
+            b.op("vrsub.vs", V(5), V(1), S(8))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        assert np.array_equal(out_i64(ex, prog), 100 - xi)
+
+    def test_shifts(self):
+        def body(b):
+            b.op("li", S(8), 3)
+            b.op("vsll.vs", V(5), V(1), S(8))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        assert np.array_equal(out_i64(ex, prog), xi << 3)
+
+    def test_vsrl_logical(self):
+        def body(b):
+            b.op("li", S(8), 60)
+            b.op("vsrl.vs", V(5), V(1), S(8))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        want = (xi.view(np.uint64) >> np.uint64(60)).view(np.int64)
+        assert np.array_equal(out_i64(ex, prog), want)
+
+
+class TestFloatVector:
+    @pytest.mark.parametrize("op,ref", [
+        ("vfadd.vv", lambda a, b: a + b),
+        ("vfsub.vv", lambda a, b: a - b),
+        ("vfmul.vv", lambda a, b: a * b),
+        ("vfdiv.vv", lambda a, b: a / b),
+        ("vfmin.vv", np.minimum),
+        ("vfmax.vv", np.maximum),
+    ])
+    def test_vv(self, op, ref):
+        def body(b):
+            b.op(op, V(5), V(3), V(4))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, _, _, xf, yf = vec_program(body)
+        assert np.allclose(out_f64(ex, prog), ref(xf, yf))
+
+    def test_vs_fp(self):
+        def body(b):
+            b.op("fli", F(1), 2.5)
+            b.op("vfmul.vs", V(5), V(3), F(1))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, _, _, xf, _ = vec_program(body)
+        assert np.allclose(out_f64(ex, prog), xf * 2.5)
+
+    def test_unary(self):
+        def body(b):
+            b.op("vfabs.v", V(5), V(3))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, _, _, xf, _ = vec_program(body)
+        assert np.allclose(out_f64(ex, prog), np.abs(xf))
+
+    def test_vfsqrt_negative_nan(self):
+        def body(b):
+            b.op("vfsqrt.v", V(5), V(3))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, _, _, xf, _ = vec_program(body)
+        got = out_f64(ex, prog)
+        want = np.sqrt(np.where(xf >= 0, xf, np.nan))
+        assert np.allclose(got, want, equal_nan=True)
+
+    def test_conversions(self):
+        def body(b):
+            b.op("vitof.v", V(5), V(1))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        assert np.allclose(out_f64(ex, prog), xi.astype(np.float64))
+
+    def test_splats(self):
+        def body(b):
+            b.op("fli", F(1), -1.5)
+            b.op("vfmv.s", V(5), F(1))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, *_ = vec_program(body)
+        assert np.all(out_f64(ex, prog) == -1.5)
+
+
+class TestMasks:
+    def test_compare_then_merge(self):
+        def body(b):
+            b.op("vslt.vv", V(1), V(2))          # vm = x < y
+            b.op("vmerge.vv", V(5), V(1), V(2))  # x where mask else y
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, yi, *_ = vec_program(body)
+        assert np.array_equal(out_i64(ex, prog), np.minimum(xi, yi))
+
+    def test_masked_execution_preserves_inactive(self):
+        def body(b):
+            b.op("vmv.v", V(5), V(2))            # out = y
+            b.op("vslt.vs", V(1), S(0))          # mask = x < 0
+            b.op("vadd.vs", V(5), V(1), S(0), masked=True)  # out[m] = x[m]
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, yi, *_ = vec_program(body)
+        want = np.where(xi < 0, xi, yi)
+        assert np.array_equal(out_i64(ex, prog), want)
+
+    def test_vmpop_vmfirst(self):
+        def body(b):
+            b.op("vslt.vs", V(1), S(0))
+            b.op("vmpop", S(8))
+            b.op("vmfirst", S(9))
+            b.op("st", S(8), (0, S(7)))
+            b.op("st", S(9), (8, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        out = out_i64(ex, prog, 2)
+        assert out[0] == int((xi < 0).sum())
+        nz = np.nonzero(xi < 0)[0]
+        assert out[1] == (nz[0] if nz.size else -1)
+
+    def test_viota(self):
+        def body(b):
+            b.op("vslt.vs", V(1), S(0))
+            b.op("viota.m", V(5))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        m = (xi < 0).astype(np.int64)
+        want = np.concatenate(([0], np.cumsum(m)[:-1]))
+        assert np.array_equal(out_i64(ex, prog), want)
+
+    def test_vid(self):
+        def body(b):
+            b.op("vid.v", V(5))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, *_ = vec_program(body)
+        assert np.array_equal(out_i64(ex, prog), np.arange(8))
+
+    def test_vcompress(self):
+        def body(b):
+            b.op("vslt.vs", V(1), S(0))       # mask = x < 0
+            b.op("li", S(8), 0)
+            b.op("vmv.s", V(5), S(8))         # clear destination
+            b.op("vcompress.m", V(5), V(1))
+            b.op("vst", V(5), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        got = out_i64(ex, prog)
+        neg = xi[xi < 0]
+        assert np.array_equal(got[:neg.size], neg)
+        assert np.all(got[neg.size:] == 0)
+
+
+class TestReductions:
+    @pytest.mark.parametrize("op,ref", [
+        ("vredsum", np.sum), ("vredmin", np.min), ("vredmax", np.max)])
+    def test_int(self, op, ref):
+        def body(b):
+            b.op(op, S(8), V(1))
+            b.op("st", S(8), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        assert out_i64(ex, prog, 1)[0] == ref(xi)
+
+    @pytest.mark.parametrize("op,ref", [
+        ("vfredsum", np.sum), ("vfredmin", np.min), ("vfredmax", np.max)])
+    def test_fp(self, op, ref):
+        def body(b):
+            b.op(op, F(1), V(3))
+            b.op("fst", F(1), (0, S(7)))
+        ex, prog, _, _, xf, _ = vec_program(body)
+        assert np.isclose(out_f64(ex, prog, 1)[0], ref(xf))
+
+    def test_masked_reduction(self):
+        def body(b):
+            b.op("vslt.vs", V(1), S(0))
+            b.op("vredsum", S(8), V(1), masked=True)
+            b.op("st", S(8), (0, S(7)))
+        ex, prog, xi, *_ = vec_program(body)
+        assert out_i64(ex, prog, 1)[0] == xi[xi < 0].sum()
+
+
+class TestElementAccess:
+    def test_vext_vins(self):
+        def body(b):
+            b.op("li", S(8), 3)
+            b.op("vext", S(9), V(1), S(8))       # s9 = x[3]
+            b.op("li", S(10), 0)
+            b.op("vins", V(2), S(9), S(10))      # y[0] = x[3]
+            b.op("vst", V(2), (0, S(7)))
+        ex, prog, xi, yi, *_ = vec_program(body)
+        want = yi.copy()
+        want[0] = xi[3]
+        assert np.array_equal(out_i64(ex, prog), want)
+
+    def test_vext_out_of_range(self):
+        from repro.functional import ExecutionError
+
+        def body(b):
+            b.op("li", S(8), 64)
+            b.op("vext", S(9), V(1), S(8))
+        with pytest.raises(ExecutionError):
+            vec_program(body)
+
+
+class TestVectorMemory:
+    def test_strided_load_store(self):
+        b = ProgramBuilder("s", memory_kib=64)
+        data = np.arange(32, dtype=np.int64)
+        b.data_i64("x", data)
+        b.space("out", 8 * 8)
+        b.op("li", S(1), 8)
+        b.op("setvl", S(2), S(1))
+        b.la(S(3), "x")
+        b.la(S(4), "out")
+        b.op("li", S(5), 32)            # byte stride of 4 elements
+        b.op("vlds", V(1), (0, S(3)), S(5))
+        b.op("vst", V(1), (0, S(4)))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        got = ex.mem.read_i64_array(prog.symbol_addr("out"), 8)
+        assert np.array_equal(got, data[::4])
+
+    def test_gather_scatter(self):
+        b = ProgramBuilder("g", memory_kib=64)
+        data = np.arange(16, dtype=np.int64) * 10
+        idx = np.array([3, 0, 7, 12], dtype=np.int64) * 8  # byte offsets
+        b.data_i64("x", data)
+        b.data_i64("idx", idx)
+        b.space("out", 16 * 8)
+        b.op("li", S(1), 4)
+        b.op("setvl", S(2), S(1))
+        b.la(S(3), "idx")
+        b.op("vld", V(2), (0, S(3)))
+        b.la(S(4), "x")
+        b.op("vldx", V(1), (0, S(4)), V(2))
+        b.la(S(5), "out")
+        b.op("vstx", V(1), (0, S(5)), V(2))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        out = ex.mem.read_i64_array(prog.symbol_addr("out"), 16)
+        for off in idx // 8:
+            assert out[off] == data[off]
+
+    def test_masked_load_leaves_inactive_unchanged(self):
+        b = ProgramBuilder("m", memory_kib=64)
+        b.data_i64("x", np.arange(8, dtype=np.int64))
+        b.space("out", 64)
+        b.op("li", S(1), 8)
+        b.op("setvl", S(2), S(1))
+        b.la(S(3), "x")
+        b.op("vld", V(1), (0, S(3)))
+        b.op("li", S(4), 4)
+        b.op("vslt.vs", V(1), S(4))        # mask = x < 4
+        b.op("li", S(5), 77)
+        b.op("vmv.s", V(2), S(5))          # all 77
+        b.op("vld", V(2), (0, S(3)), masked=True)
+        b.la(S(6), "out")
+        b.op("vst", V(2), (0, S(6)))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        got = ex.mem.read_i64_array(prog.symbol_addr("out"), 8)
+        want = np.where(np.arange(8) < 4, np.arange(8), 77)
+        assert np.array_equal(got, want)
+
+
+class TestVL:
+    def test_setvl_clamps(self):
+        b = ProgramBuilder("vl", memory_kib=64)
+        b.space("out", 16)
+        b.op("li", S(1), 1000)
+        b.op("setvl", S(2), S(1))
+        b.la(S(3), "out")
+        b.op("st", S(2), (0, S(3)))
+        b.op("li", S(4), -5)
+        b.op("setvl", S(5), S(4))
+        b.op("st", S(5), (8, S(3)))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        out = ex.mem.read_i64_array(prog.symbol_addr("out"), 2)
+        assert out.tolist() == [MVL, 0]
+
+    def test_ops_respect_vl(self):
+        b = ProgramBuilder("vl2", memory_kib=64)
+        b.space("out", MVL * 8)
+        b.op("li", S(1), 3)
+        b.op("setvl", S(2), S(1))
+        b.op("li", S(4), 9)
+        b.op("vmv.s", V(1), S(4))
+        b.la(S(3), "out")
+        b.op("vst", V(1), (0, S(3)))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        out = ex.mem.read_i64_array(prog.symbol_addr("out"), 8)
+        assert out.tolist() == [9, 9, 9, 0, 0, 0, 0, 0]

@@ -1,0 +1,76 @@
+"""The Section 7.1 analytical speedup model."""
+
+import pytest
+
+from repro.harness.model import (SpeedupBand, amdahl,
+                                 lanes_used_by_one_thread, predicted_band)
+
+
+class TestAmdahl:
+    def test_full_opportunity(self):
+        assert amdahl(1.0, 4) == pytest.approx(4.0)
+
+    def test_no_opportunity(self):
+        assert amdahl(0.0, 100) == pytest.approx(1.0)
+
+    def test_paper_mpenc_numbers(self):
+        """78% opportunity, parallel speedup 2..4 -> overall ~1.6..2.4."""
+        assert amdahl(0.78, 2) == pytest.approx(1.64, abs=0.02)
+        assert amdahl(0.78, 4) == pytest.approx(2.40, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amdahl(1.5, 2)
+        with pytest.raises(ValueError):
+            amdahl(0.5, 0)
+
+
+class TestLanesUsed:
+    def test_long_vectors_use_all_lanes(self):
+        assert lanes_used_by_one_thread(64, 8) == pytest.approx(8.0)
+
+    def test_paper_mpenc_reading(self):
+        """avg VL 11 -> '2 to 4 lanes efficiently used' (paper 7.1)."""
+        used = lanes_used_by_one_thread(11.2, 8)
+        assert 2.0 <= used <= 6.0
+
+    def test_tiny_vectors(self):
+        assert lanes_used_by_one_thread(4, 8) == pytest.approx(4.0)
+
+    def test_degenerate(self):
+        assert lanes_used_by_one_thread(0, 8) == 1.0
+
+
+class TestBand:
+    def test_band_ordering_and_membership(self):
+        band = predicted_band(78, 11.2, threads=4)
+        assert band.low < band.high
+        assert (band.low + band.high) / 2 in band
+        assert band.high + 1 not in band
+
+    def test_paper_mpenc_band_contains_measured(self):
+        """The paper measured mpenc at 1.8 with 4 threads."""
+        band = predicted_band(78, 11.2, threads=4)
+        assert 1.8 in band.widened(0.15)
+
+    def test_widened(self):
+        band = SpeedupBand(1.0, 2.0).widened(0.1)
+        assert band.low == pytest.approx(0.9)
+        assert band.high == pytest.approx(2.2)
+
+
+class TestModelVsSimulation:
+    @pytest.mark.parametrize("name", ["mpenc", "trfd", "multprec", "bt"])
+    def test_measured_speedup_within_model_band(self, name):
+        from repro.timing import simulate
+        from repro.timing.config import BASE, V4_CMP
+        from repro.workloads import characterize, get_workload
+        c = characterize(name)
+        w = get_workload(name)
+        prog = w.program()
+        base = simulate(prog, BASE, num_threads=1).cycles
+        vlt = simulate(prog, V4_CMP, num_threads=4).cycles
+        measured = base / vlt
+        band = predicted_band(c.pct_opportunity, c.avg_vl,
+                              threads=4).widened(0.30)
+        assert measured in band, (name, measured, band)

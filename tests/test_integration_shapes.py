@@ -1,0 +1,78 @@
+"""End-to-end shape checks on (reduced) paper experiments.
+
+These are the cheap versions of the benchmark-suite assertions: enough
+simulation to confirm the headline claims hold, small enough for the
+unit-test suite.
+"""
+
+import pytest
+
+from repro.timing import simulate
+from repro.timing.config import (BASE, CMT, V2_CMP, V4_CMP, VLT_SCALAR,
+                                 base_config)
+from repro.workloads import get_workload
+
+
+class TestFigure1Shapes:
+    def test_long_vectors_scale(self):
+        w = get_workload("mxm")
+        prog = w.program()
+        c1 = simulate(prog, base_config(lanes=1)).cycles
+        c8 = simulate(prog, base_config(lanes=8)).cycles
+        assert c1 / c8 >= 4.0
+
+    def test_short_vectors_saturate(self):
+        w = get_workload("trfd")
+        prog = w.program()
+        c1 = simulate(prog, base_config(lanes=1)).cycles
+        c8 = simulate(prog, base_config(lanes=8)).cycles
+        assert 1.0 <= c1 / c8 <= 3.0
+
+    def test_scalar_apps_flat(self):
+        w = get_workload("barnes")
+        prog = w.program()
+        c1 = simulate(prog, base_config(lanes=1)).cycles
+        c8 = simulate(prog, base_config(lanes=8)).cycles
+        assert 0.95 <= c1 / c8 <= 1.2
+
+
+class TestFigure3Shapes:
+    @pytest.mark.parametrize("name", ["trfd", "multprec"])
+    def test_vlt_speedup_in_band(self, name):
+        w = get_workload(name)
+        prog = w.program()
+        base = simulate(prog, BASE, num_threads=1).cycles
+        s2 = base / simulate(prog, V2_CMP, num_threads=2).cycles
+        s4 = base / simulate(prog, V4_CMP, num_threads=4).cycles
+        assert 1.05 <= s2 <= 2.4
+        assert 1.2 <= s4 <= 3.2
+        assert s4 >= s2 * 0.95
+
+
+class TestFigure4Shapes:
+    def test_vlt_compresses_execution(self):
+        w = get_workload("trfd")
+        prog = w.program()
+        base = simulate(prog, BASE, num_threads=1)
+        vlt = simulate(prog, V4_CMP, num_threads=4)
+        # identical element work, fewer cycles
+        assert vlt.utilization.busy == base.utilization.busy
+        assert vlt.cycles < base.cycles
+        # stall datapath-cycles shrink
+        assert vlt.utilization.stalled < base.utilization.stalled
+
+
+class TestFigure6Shapes:
+    def test_ocean_lanes_beat_cmt(self):
+        w = get_workload("ocean")
+        prog = w.program(scalar_only=True)
+        vlt = simulate(prog, VLT_SCALAR, num_threads=8).cycles
+        cmt = simulate(prog, CMT, num_threads=4).cycles
+        assert cmt / vlt >= 1.25
+
+    def test_barnes_parity(self):
+        w = get_workload("barnes")
+        prog = w.program(scalar_only=True)
+        vlt = simulate(prog, VLT_SCALAR, num_threads=8).cycles
+        cmt = simulate(prog, CMT, num_threads=4).cycles
+        assert 0.7 <= cmt / vlt <= 1.5

@@ -1,0 +1,37 @@
+"""Generated ISA reference: completeness and structure."""
+
+import re
+
+from repro.isa.doc import isa_reference_md
+from repro.isa.opcodes import OPCODES
+
+
+class TestIsaReference:
+    def test_every_opcode_documented_exactly_once(self):
+        md = isa_reference_md()
+        for name in OPCODES:
+            occurrences = md.count(f"| `{name}` |")
+            assert occurrences == 1, name
+
+    def test_sections_present(self):
+        md = isa_reference_md()
+        for section in ("Scalar integer arithmetic", "Vector arithmetic",
+                        "Vector memory", "Thread / VLT runtime",
+                        "Vector reductions"):
+            assert f"## {section}" in md
+
+    def test_no_misc_leftovers(self):
+        """The section predicates should classify every opcode."""
+        assert "## Miscellaneous" not in isa_reference_md()
+
+    def test_tables_well_formed(self):
+        md = isa_reference_md()
+        rows = [l for l in md.splitlines() if l.startswith("| `")]
+        assert len(rows) == len(OPCODES)
+        assert all(l.count("|") == 6 for l in rows)
+
+    def test_cli_writes_file(self, tmp_path):
+        from repro.isa.doc import main
+        out = tmp_path / "isa.md"
+        assert main([str(out)]) == 0
+        assert out.read_text().startswith("# ISA reference")

@@ -1,0 +1,97 @@
+"""Opcode registry invariants."""
+
+import pytest
+
+from repro.isa.opcodes import OPCODES, OPERAND_KINDS, all_opcodes, spec
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert spec("add").name == "add"
+        assert spec("vfadd.vv").is_vector
+
+    def test_unknown_opcode(self):
+        with pytest.raises(KeyError):
+            spec("frobnicate")
+
+    def test_all_opcodes_nonempty_and_sane_size(self):
+        names = all_opcodes()
+        # the ISA covers scalar int/fp, memory, control, vector, runtime
+        assert len(names) > 100
+        assert len(set(names)) == len(names)
+
+    def test_signatures_use_known_kinds(self):
+        for s in OPCODES.values():
+            for kind in s.sig:
+                assert kind in OPERAND_KINDS, (s.name, kind)
+
+    def test_pools_are_known(self):
+        for s in OPCODES.values():
+            assert s.pool in ("arith", "mem", "varith", "vmem", "none"), s.name
+
+    def test_latencies_positive(self):
+        for s in OPCODES.values():
+            assert s.latency >= 1, s.name
+
+
+class TestClassification:
+    def test_vector_ops_have_vector_pools(self):
+        for s in OPCODES.values():
+            if s.pool in ("varith", "vmem"):
+                assert s.is_vector, s.name
+
+    def test_memory_flags_consistent(self):
+        for s in OPCODES.values():
+            if s.is_load or s.is_store:
+                assert s.pool in ("mem", "vmem"), s.name
+                assert "mem" in s.sig, s.name
+            assert not (s.is_load and s.is_store), s.name
+
+    def test_branches(self):
+        for name in ("beq", "bne", "blt", "bge"):
+            s = spec(name)
+            assert s.is_branch and not s.is_uncond
+        for name in ("j", "jal", "jr"):
+            assert spec(name).is_uncond
+
+    def test_mask_writers(self):
+        assert spec("vslt.vv").writes_mask
+        assert spec("vfeq.vs").writes_mask
+        assert not spec("vadd.vv").writes_mask
+
+    def test_mask_readers(self):
+        for name in ("vmerge.vv", "vmpop", "vmfirst", "viota.m"):
+            assert spec(name).reads_mask
+
+    def test_masked_suffix_allowed_only_where_declared(self):
+        assert spec("vadd.vv").allow_mask
+        assert not spec("vslt.vv").allow_mask  # compares define the mask
+
+    def test_strided_and_indexed_memory(self):
+        assert spec("vlds").mem_stride and not spec("vlds").mem_indexed
+        assert spec("vldx").mem_indexed and not spec("vldx").mem_stride
+        assert spec("vstx").mem_indexed and spec("vstx").is_store
+
+    def test_reductions_write_scalars(self):
+        for name in ("vredsum", "vredmin", "vredmax"):
+            assert spec(name).sig[0] == "sd"
+        for name in ("vfredsum", "vfredmin", "vfredmax"):
+            assert spec(name).sig[0] == "fd"
+
+    def test_vltcfg_is_the_single_isa_extension(self):
+        s = spec("vltcfg")
+        assert s.is_vltcfg and s.sig == ("imm",)
+
+    def test_setvl_writes_vl(self):
+        s = spec("setvl")
+        assert s.writes_vl and not s.is_vector
+
+    def test_vins_reads_its_destination(self):
+        assert spec("vins").dst_is_src
+        assert spec("vfins").dst_is_src
+        assert not spec("vadd.vv").dst_is_src
+
+    def test_has_dst_property(self):
+        assert spec("add").has_dst
+        assert not spec("st").has_dst
+        assert not spec("barrier").has_dst

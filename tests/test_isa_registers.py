@@ -1,0 +1,76 @@
+"""Register model: naming, parsing, uid mapping."""
+
+import pytest
+
+from repro.isa.registers import (MVL, NUM_REG_UIDS, VL, VM, F_BASE, S_BASE,
+                                 V_BASE, VL_UID, VM_UID, freg, is_vector_reg,
+                                 parse_reg, reg_name, reg_uid, sreg,
+                                 uid_is_scalar, vreg)
+
+
+class TestConstructors:
+    def test_sreg_range(self):
+        assert sreg(0) == ("s", 0)
+        assert sreg(31) == ("s", 31)
+        with pytest.raises(ValueError):
+            sreg(32)
+        with pytest.raises(ValueError):
+            sreg(-1)
+
+    def test_freg_vreg_range(self):
+        assert freg(5) == ("f", 5)
+        assert vreg(31) == ("v", 31)
+        with pytest.raises(ValueError):
+            freg(32)
+        with pytest.raises(ValueError):
+            vreg(99)
+
+    def test_mvl_is_cray_x1(self):
+        assert MVL == 64
+
+
+class TestUids:
+    def test_uid_layout_disjoint(self):
+        uids = ([reg_uid(sreg(i)) for i in range(32)]
+                + [reg_uid(freg(i)) for i in range(32)]
+                + [reg_uid(vreg(i)) for i in range(32)]
+                + [reg_uid(VM), reg_uid(VL)])
+        assert len(set(uids)) == len(uids)
+        assert max(uids) == NUM_REG_UIDS - 1
+        assert min(uids) == 0
+
+    def test_uid_bases(self):
+        assert reg_uid(sreg(0)) == S_BASE
+        assert reg_uid(freg(0)) == F_BASE
+        assert reg_uid(vreg(0)) == V_BASE
+        assert reg_uid(VM) == VM_UID
+        assert reg_uid(VL) == VL_UID
+
+    def test_uid_scalar_classification(self):
+        assert uid_is_scalar(reg_uid(sreg(7)))
+        assert uid_is_scalar(reg_uid(freg(7)))
+        assert uid_is_scalar(reg_uid(VL))  # vl is written by the SU
+        assert not uid_is_scalar(reg_uid(vreg(7)))
+        assert not uid_is_scalar(reg_uid(VM))
+
+    def test_uid_rejects_bad_class(self):
+        with pytest.raises(ValueError):
+            reg_uid(("x", 0))
+
+
+class TestNames:
+    @pytest.mark.parametrize("reg", [sreg(3), freg(0), vreg(31), VM, VL])
+    def test_roundtrip(self, reg):
+        assert parse_reg(reg_name(reg)) == reg
+
+    @pytest.mark.parametrize("text", ["", "s", "s32", "q3", "v-1", "vmm",
+                                      "f 1"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_reg(text)
+
+    def test_is_vector_reg(self):
+        assert is_vector_reg(vreg(0))
+        assert is_vector_reg(VM)
+        assert not is_vector_reg(sreg(0))
+        assert not is_vector_reg(VL)

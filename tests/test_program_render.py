@@ -1,0 +1,66 @@
+"""Instruction rendering / program listings (the disassembler surface)."""
+
+import pytest
+
+from repro.isa import ProgramBuilder, S, F, V, assemble, make_instr
+
+
+class TestRender:
+    @pytest.mark.parametrize("name,operands,want", [
+        ("add", (S(1), S(2), S(3)), "add s1, s2, s3"),
+        ("li", (S(1), -5), "li s1, -5"),
+        ("fli", (F(2), 2.5), "fli f2, 2.5"),
+        ("ld", (S(1), (16, S(2))), "ld s1, 16(s2)"),
+        ("st", (S(1), (0, S(2))), "st s1, 0(s2)"),
+        ("vld", (V(1), (8, S(2))), "vld v1, 8(s2)"),
+        ("vlds", (V(1), (0, S(2)), S(3)), "vlds v1, 0(s2), s3"),
+        ("vldx", (V(1), (0, S(2)), V(3)), "vldx v1, 0(s2), v3"),
+        ("vfadd.vs", (V(1), V(2), F(3)), "vfadd.vs v1, v2, f3"),
+        ("vslt.vv", (V(1), V(2)), "vslt.vv v1, v2"),
+        ("vredsum", (S(1), V(2)), "vredsum s1, v2"),
+        ("barrier", (), "barrier"),
+        ("vltcfg", (4,), "vltcfg 4"),
+    ])
+    def test_roundtrippable_syntax(self, name, operands, want):
+        ins = make_instr(name, operands)
+        assert ins.render() == want
+
+    def test_masked_suffix_rendered(self):
+        ins = make_instr("vadd.vv", (V(1), V(2), V(3)), masked=True)
+        assert ins.render() == "vadd.vv.m v1, v2, v3"
+
+    def test_render_reassembles(self):
+        cases = [
+            "add s1, s2, s3", "vfadd.vs.m v1, v2, f3",
+            "vsts v1, 8(s2), s3", "vstx v1, 0(s2), v3",
+            "vfredsum f1, v2", "vins v1, s2, s3", "setvl s1, s2",
+        ]
+        for text in cases:
+            prog = assemble(text + "\nhalt")
+            assert prog.instrs[0].render() == text
+
+
+class TestListing:
+    def test_labels_interleaved(self):
+        b = ProgramBuilder("l", memory_kib=64)
+        b.op("li", S(1), 0)
+        b.label("top")
+        b.op("addi", S(1), S(1), 1)
+        b.op("blt", S(1), S(2), "top")
+        b.op("halt")
+        listing = b.build().listing()
+        lines = listing.splitlines()
+        assert lines[1] == "top:"
+        assert "blt s1, s2, 1" in listing  # resolved target
+
+    def test_listing_reassembles_to_same_length(self):
+        b = ProgramBuilder("r", memory_kib=64)
+        b.data_f64("x", [1.0, 2.0])
+        b.la(S(1), "x")
+        b.op("fld", F(1), (0, S(1)))
+        b.op("fadd", F(2), F(1), F(1))
+        b.op("halt")
+        prog = b.build()
+        re = assemble(".space pad 128\n" + prog.listing())
+        assert len(re.instrs) == len(prog.instrs)
+        assert [i.op for i in re.instrs] == [i.op for i in prog.instrs]

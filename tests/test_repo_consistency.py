@@ -1,0 +1,44 @@
+"""Repository-level consistency: docs exist, references resolve, the
+generated ISA reference is up to date."""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+class TestDeliverables:
+    @pytest.mark.parametrize("rel", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml",
+        "docs/isa.md", "docs/timing-model.md", "docs/workloads.md",
+        "docs/assembly-tutorial.md",
+    ])
+    def test_file_exists(self, rel):
+        assert (ROOT / rel).is_file(), rel
+
+    def test_examples_referenced_in_readme_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for line in readme.splitlines():
+            if "examples/" in line and ".py" in line:
+                name = line.split("examples/")[1].split(".py")[0]
+                assert (ROOT / "examples" / f"{name}.py").is_file(), name
+
+    def test_benchmarks_cover_every_figure_and_table(self):
+        names = {p.stem for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        assert {"bench_fig1_lane_scaling", "bench_fig3_vlt_speedup",
+                "bench_fig4_utilization", "bench_fig5_design_space",
+                "bench_fig6_scalar_threads", "bench_area_model",
+                "bench_table4_characteristics"} <= names
+
+    def test_isa_reference_up_to_date(self):
+        from repro.isa.doc import isa_reference_md
+        on_disk = (ROOT / "docs" / "isa.md").read_text()
+        assert on_disk == isa_reference_md(), \
+            "regenerate with: python -m repro.isa.doc docs/isa.md"
+
+    def test_design_md_lists_every_experiment(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for exp in ("Figure 1", "Table 1", "Table 2", "Table 4",
+                    "Figure 3", "Figure 4", "Figure 5", "Figure 6"):
+            assert exp in design, exp

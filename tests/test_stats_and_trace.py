@@ -1,0 +1,87 @@
+"""RunResult/utilization stats and functional trace records."""
+
+import numpy as np
+import pytest
+
+from repro.functional.trace import DynOp, ProgramTrace, ThreadTrace
+from repro.isa import spec
+from repro.timing.stats import DatapathUtilization, RunResult
+
+
+class TestDatapathUtilization:
+    def test_total_and_fractions(self):
+        u = DatapathUtilization(busy=10, partly_idle=5, stalled=25,
+                                all_idle=60)
+        assert u.total == 100
+        f = u.fractions()
+        assert f["busy"] == pytest.approx(0.10)
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions_safe(self):
+        f = DatapathUtilization().fractions()
+        assert all(v == 0 for v in f.values())
+
+    def test_merged(self):
+        a = DatapathUtilization(busy=1, partly_idle=2, stalled=3, all_idle=4)
+        b = DatapathUtilization(busy=10, partly_idle=20, stalled=30,
+                                all_idle=40)
+        m = a.merged(b)
+        assert (m.busy, m.partly_idle, m.stalled, m.all_idle) == \
+            (11, 22, 33, 44)
+
+
+class TestRunResultPhases:
+    def _rr(self, cycles, releases):
+        return RunResult(config_name="c", program_name="p", num_threads=1,
+                         cycles=cycles, phase_release_cycles=releases)
+
+    def test_no_barriers_single_phase(self):
+        assert self._rr(100, []).phase_durations() == [100]
+
+    def test_phases_partition_cycles(self):
+        durs = self._rr(100, [30, 70]).phase_durations()
+        assert durs == [30, 40, 30]
+        assert sum(durs) == 100
+
+    def test_trailing_barrier(self):
+        assert self._rr(50, [50]).phase_durations() == [50, 0]
+
+
+def _dyn(op, **kw):
+    s = spec(op)
+    return DynOp(0, op, s, (), (), **kw)
+
+
+class TestThreadTrace:
+    def test_counts(self):
+        t = ThreadTrace(0)
+        t.append(_dyn("add"))
+        t.append(_dyn("vadd.vv", vl=8))
+        t.append(_dyn("vfmul.vs", vl=16))
+        c = t.counts()
+        assert c == {"total": 3, "scalar": 1, "vector": 2,
+                     "element_ops": 24}
+
+    def test_vector_lengths(self):
+        t = ThreadTrace(0)
+        t.append(_dyn("vadd.vv", vl=5))
+        t.append(_dyn("add"))
+        t.append(_dyn("vadd.vv", vl=7))
+        assert t.vector_lengths().tolist() == [5, 7]
+
+    def test_len(self):
+        t = ThreadTrace(0)
+        assert len(t) == 0
+        t.append(_dyn("nop"))
+        assert len(t) == 1
+
+
+class TestProgramTrace:
+    def test_merged_counts(self):
+        p = ProgramTrace("prog", 2, [ThreadTrace(0), ThreadTrace(1)])
+        p.threads[0].append(_dyn("add"))
+        p.threads[1].append(_dyn("vadd.vv", vl=4))
+        assert p.total_ops() == 2
+        m = p.merged_counts()
+        assert m["scalar"] == 1 and m["vector"] == 1
+        assert m["element_ops"] == 4

@@ -1,0 +1,57 @@
+"""Bimodal branch predictor unit tests."""
+
+import pytest
+
+from repro.timing.branch import BimodalPredictor
+
+
+class TestBimodal:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(100)
+
+    def test_learns_constant_direction(self):
+        p = BimodalPredictor(16)
+        results = [p.predict_and_update(4, True) for _ in range(20)]
+        # initialised weakly-taken: correct from the start for taken
+        assert all(results)
+        p2 = BimodalPredictor(16)
+        results = [p2.predict_and_update(4, False) for _ in range(20)]
+        # at most two warm-up mispredicts for the not-taken stream
+        assert sum(not r for r in results) <= 2
+        assert all(results[4:])
+
+    def test_hysteresis_tolerates_single_flip(self):
+        p = BimodalPredictor(16)
+        for _ in range(10):
+            p.predict_and_update(0, True)
+        p.predict_and_update(0, False)      # one anomaly
+        assert p.predict_and_update(0, True)  # still predicts taken
+
+    def test_alternating_pattern_is_hard(self):
+        p = BimodalPredictor(16)
+        outcomes = [bool(i % 2) for i in range(100)]
+        wrong = sum(not p.predict_and_update(8, t) for t in outcomes)
+        assert wrong >= 40
+
+    def test_distinct_pcs_independent(self):
+        p = BimodalPredictor(16)
+        for _ in range(10):
+            p.predict_and_update(1, True)
+            p.predict_and_update(2, False)
+        assert p.predict_and_update(1, True)
+        assert p.predict_and_update(2, False)
+
+    def test_aliasing_wraps_table(self):
+        p = BimodalPredictor(16)
+        for _ in range(10):
+            p.predict_and_update(0, False)
+        # pc 16 aliases pc 0 in a 16-entry table
+        assert p.predict_and_update(16, False)
+
+    def test_accuracy_stat(self):
+        p = BimodalPredictor(16)
+        for _ in range(100):
+            p.predict_and_update(3, True)
+        assert p.accuracy > 0.95
+        assert p.lookups == 100

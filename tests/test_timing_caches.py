@@ -1,0 +1,80 @@
+"""Cache tag-array model: hits, misses, LRU, geometry."""
+
+import pytest
+
+from repro.timing.caches import Cache
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        c = Cache(16 * 1024, 2, 64)
+        assert c.num_sets == 128
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(1000, 3, 64)
+
+
+class TestBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = Cache(1024, 2, 64)
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(8) is True          # same line
+
+    def test_distinct_lines(self):
+        c = Cache(1024, 2, 64)
+        c.access(0)
+        assert c.access(64) is False
+
+    def test_lru_eviction(self):
+        # 2-way, 64B lines, 1024B cache -> 8 sets; same set every 512B
+        c = Cache(1024, 2, 64)
+        a, b, d = 0, 512, 1024
+        c.access(a)
+        c.access(b)
+        c.access(d)                 # evicts a (LRU)
+        assert c.access(a) is False
+        # now b was evicted by a's refill
+        assert c.access(d) is True
+
+    def test_lru_update_on_hit(self):
+        c = Cache(1024, 2, 64)
+        a, b, d = 0, 512, 1024
+        c.access(a)
+        c.access(b)
+        c.access(a)                 # a becomes MRU
+        c.access(d)                 # evicts b, not a
+        assert c.access(a) is True
+        assert c.access(b) is False
+
+    def test_probe_does_not_disturb(self):
+        c = Cache(1024, 2, 64)
+        c.access(0)
+        before = c.stats.accesses
+        assert c.probe(0) is True
+        assert c.probe(64) is False
+        assert c.stats.accesses == before
+
+    def test_flush(self):
+        c = Cache(1024, 2, 64)
+        c.access(0)
+        c.flush()
+        assert c.access(0) is False
+
+    def test_stats(self):
+        c = Cache(1024, 2, 64)
+        c.access(0)
+        c.access(0)
+        c.access(64)
+        assert c.stats.accesses == 3
+        assert c.stats.misses == 2
+        assert c.stats.hits == 1
+        assert c.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_fully_utilized_no_thrash_within_capacity(self):
+        c = Cache(4096, 4, 64)
+        lines = list(range(0, 4096, 64))
+        for a in lines:
+            c.access(a)
+        assert all(c.access(a) for a in lines)

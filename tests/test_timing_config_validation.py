@@ -1,0 +1,50 @@
+"""Configuration validation: malformed machines fail at construction,
+not mid-simulation (failure injection for the config layer)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.timing.config import (BASE, L2Config, ScalarUnitConfig,
+                                 VectorUnitConfig)
+
+
+class TestScalarUnitValidation:
+    @pytest.mark.parametrize("kw", [
+        {"width": 0}, {"window": 0}, {"arith_units": 0},
+        {"mem_ports": 0}, {"smt_contexts": 0}, {"bpred_entries": 100},
+    ])
+    def test_rejects(self, kw):
+        with pytest.raises(ValueError):
+            ScalarUnitConfig(**kw)
+
+    def test_accepts_defaults(self):
+        ScalarUnitConfig()
+
+
+class TestVectorUnitValidation:
+    @pytest.mark.parametrize("kw", [
+        {"lanes": 0}, {"issue_width": 0}, {"viq_entries": 0},
+        {"arith_fus": 0}, {"mem_ports": 0}, {"phys_vregs": 32},
+    ])
+    def test_rejects(self, kw):
+        with pytest.raises(ValueError):
+            VectorUnitConfig(**kw)
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ValueError):
+            replace(BASE.vu, lanes=0)
+
+
+class TestL2Validation:
+    @pytest.mark.parametrize("kw", [
+        {"banks": 0}, {"bank_busy": 0}, {"line": 48}, {"line": 4},
+        {"size_kib": 1, "assoc": 3, "line": 64},
+        {"hit_latency": 10, "miss_latency": 5},
+    ])
+    def test_rejects(self, kw):
+        with pytest.raises(ValueError):
+            L2Config(**kw)
+
+    def test_accepts_defaults(self):
+        L2Config()

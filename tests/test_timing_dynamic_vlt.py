@@ -1,0 +1,93 @@
+"""Dynamic VLT reconfiguration (paper Section 3.3).
+
+Programs may switch the number of lane partitions between barrier-
+delimited phases via ``vltcfg n``: high-DLP phases run one thread on all
+lanes, low-DLP phases run several threads on lane subsets.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.timing import simulate
+from repro.timing.config import BASE, V4_CMP
+
+
+def phased_program(vec_phase_cfg: int):
+    """Phase A: thread 0 does long-vector work on ``vec_phase_cfg``
+    partitions; phase B: all 4 threads do short-vector work."""
+    return assemble(f"""
+    tid s1
+    vltcfg {vec_phase_cfg}
+    bne s1, s0, wait_a
+    li s10, 0
+    li s11, 60
+    rep_a:
+    li s2, 64
+    setvl s3, s2
+    vfadd.vv v1, v2, v3
+    vfmul.vv v4, v1, v2
+    vfadd.vv v5, v4, v1
+    addi s10, s10, 1
+    blt s10, s11, rep_a
+    wait_a:
+    barrier
+    vltcfg 4
+    li s10, 0
+    li s11, 40
+    rep_b:
+    li s2, 8
+    setvl s3, s2
+    vfadd.vv v1, v2, v3
+    vfmul.vv v4, v1, v2
+    addi s10, s10, 1
+    blt s10, s11, rep_b
+    barrier
+    halt
+    """)
+
+
+class TestDynamicReconfiguration:
+    def test_wide_phase_beats_static_partitioning(self):
+        """vltcfg 1 gives phase A all 8 lanes; static 4-way partitioning
+        leaves thread 0 on 2 lanes for its long vectors."""
+        dynamic = simulate(phased_program(1), V4_CMP, num_threads=4)
+        static = simulate(phased_program(4), V4_CMP, num_threads=4)
+        assert dynamic.cycles < static.cycles
+
+    def test_noop_vltcfg_is_cheap(self):
+        prog = assemble("""
+        vltcfg 0
+        vltcfg 0
+        vltcfg 0
+        li s1, 1
+        halt
+        """)
+        r = simulate(prog, BASE, num_threads=1)
+        assert r.cycles < 50
+
+    def test_vector_work_from_unpartitioned_thread_rejected(self):
+        # after vltcfg 1, only thread 0 owns lanes; thread 1 issuing
+        # vector work is a program error
+        prog = assemble("""
+        tid s1
+        vltcfg 1
+        li s2, 8
+        setvl s3, s2
+        vfadd.vv v1, v2, v3
+        barrier
+        halt
+        """)
+        with pytest.raises(RuntimeError, match="partitioned"):
+            simulate(prog, V4_CMP, num_threads=2)
+
+    def test_invalid_partition_count_rejected(self):
+        prog = assemble("vltcfg 3\nli s1, 1\nhalt")
+        with pytest.raises(ValueError, match="split"):
+            simulate(prog, BASE, num_threads=1)
+
+    def test_repartition_preserves_utilization_accounting(self):
+        r = simulate(phased_program(1), V4_CMP, num_threads=4)
+        u = r.utilization
+        assert u.total == 3 * 8 * r.cycles
+        # element work: 60*3 ops at VL 64 + 4 threads * 40*2 ops at VL 8
+        assert u.busy == 60 * 3 * 64 + 4 * 40 * 2 * 8

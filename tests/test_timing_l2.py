@@ -1,0 +1,88 @@
+"""Banked L2: latencies, bank conflicts, unit-stride coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.timing.config import L2Config
+from repro.timing.l2 import BankedL2
+
+
+def make_l2(**kw):
+    return BankedL2(L2Config(**kw))
+
+
+class TestScalarAccess:
+    def test_miss_then_hit_latency(self):
+        l2 = make_l2()
+        t1 = l2.access(0, now=0)
+        assert t1 == 100                 # cold miss
+        t2 = l2.access(0, now=200)
+        assert t2 == 210                 # hit
+
+    def test_bank_occupancy_serialises_same_bank(self):
+        l2 = make_l2()
+        cfg = l2.cfg
+        same_bank = cfg.line * cfg.banks     # same bank, different line
+        l2.access(0, now=0)
+        t = l2.access(same_bank, now=0)
+        # second access starts after the first's bank_busy
+        assert t == cfg.bank_busy + cfg.miss_latency
+
+    def test_different_banks_parallel(self):
+        l2 = make_l2()
+        t1 = l2.access(0, now=0)
+        t2 = l2.access(64, now=0)        # next line -> next bank
+        assert t1 == t2 == 100
+
+
+class TestVectorAccess:
+    def test_empty(self):
+        l2 = make_l2()
+        assert l2.vector_access(np.empty(0, dtype=np.int64), 5, 8, True) \
+            == 5 + l2.cfg.hit_latency
+
+    def test_unit_stride_coalesces_lines(self):
+        l2 = make_l2()
+        addrs = np.arange(64, dtype=np.int64) * 8     # 8 lines
+        l2.vector_access(addrs, 0, addrs_per_cycle=8, unit_stride=True)
+        assert l2.stats.vector_line_txns == 8
+        assert l2.stats.vector_elements == 64
+
+    def test_strided_pays_per_element(self):
+        l2 = make_l2()
+        addrs = np.arange(64, dtype=np.int64) * 128   # one per 2 lines
+        l2.vector_access(addrs, 0, addrs_per_cycle=8, unit_stride=False)
+        assert l2.stats.vector_line_txns == 64
+
+    def test_large_stride_bank_conflicts(self):
+        """A stride equal to banks*line maps every element to one bank."""
+        l2 = make_l2()
+        cfg = l2.cfg
+        bad = np.arange(32, dtype=np.int64) * (cfg.banks * cfg.line)
+        good = np.arange(32, dtype=np.int64) * cfg.line
+        t_bad = l2.vector_access(bad, 0, 8, unit_stride=False)
+        l2b = make_l2()
+        t_good = l2b.vector_access(good, 0, 8, unit_stride=False)
+        assert t_bad > t_good
+
+    def test_completion_is_slowest_element(self):
+        l2 = make_l2(miss_latency=50, hit_latency=5)
+        addrs = np.array([0, 64], dtype=np.int64)
+        t = l2.vector_access(addrs, 0, addrs_per_cycle=8, unit_stride=False)
+        assert t >= 50
+
+    def test_warm_unit_stride_is_fast(self):
+        l2 = make_l2()
+        addrs = np.arange(64, dtype=np.int64) * 8
+        l2.vector_access(addrs, 0, 8, True)
+        t = l2.vector_access(addrs, 1000, 8, True)
+        # 8 lines at 1/cycle + 10-cycle hit
+        assert t <= 1000 + 8 + l2.cfg.hit_latency + l2.cfg.bank_busy
+
+    def test_fewer_lanes_generate_addresses_slower(self):
+        l2a = make_l2()
+        l2b = make_l2()
+        addrs = np.arange(64, dtype=np.int64) * 8
+        t8 = l2a.vector_access(addrs, 0, addrs_per_cycle=8, unit_stride=True)
+        t1 = l2b.vector_access(addrs, 0, addrs_per_cycle=1, unit_stride=True)
+        assert t1 > t8

@@ -1,0 +1,183 @@
+"""Machine-level behaviour: configs, placement, barriers, determinism."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.timing import simulate, trace_for
+from repro.timing.config import (BASE, CMT, CONFIGS, V2_CMP, V2_SMT, V4_CMP,
+                                 V4_CMP_H, V4_CMT, V4_SMT, VLT_SCALAR,
+                                 base_config, get_config)
+from repro.timing.machine import Machine, SimulationError
+
+
+class TestConfigs:
+    def test_registry_lookup(self):
+        assert get_config("V4-CMT") is V4_CMT
+        with pytest.raises(KeyError):
+            get_config("bogus")
+
+    def test_base_matches_table3(self):
+        su = BASE.scalar_units[0]
+        assert (su.width, su.window, su.arith_units, su.mem_ports) == \
+            (4, 64, 4, 2)
+        assert su.l1i_kib == su.l1d_kib == 16 and su.l1_assoc == 2
+        vu = BASE.vu
+        assert (vu.lanes, vu.issue_width, vu.viq_entries) == (8, 2, 32)
+        assert (vu.arith_fus, vu.mem_ports) == (3, 2)
+        l2 = BASE.l2
+        assert (l2.size_kib, l2.assoc, l2.banks) == (4096, 4, 16)
+        assert (l2.hit_latency, l2.miss_latency) == (10, 100)
+
+    def test_halved_su(self):
+        su2 = BASE.scalar_units[0].halved()
+        assert (su2.width, su2.window, su2.arith_units, su2.mem_ports) == \
+            (2, 32, 2, 1)
+        assert su2.l1i_kib == 16  # identical caches (Section 6)
+
+    def test_design_space_shapes(self):
+        assert len(V2_CMP.scalar_units) == 2
+        assert V2_SMT.scalar_units[0].smt_contexts == 2
+        assert len(V4_CMP.scalar_units) == 4
+        assert [su.width for su in V4_CMP_H.scalar_units] == [4, 2, 2, 2]
+        assert all(su.smt_contexts == 2 for su in V4_CMT.scalar_units)
+        assert CMT.vu is None
+        assert VLT_SCALAR.lane_scalar_mode
+
+    def test_placement_depth_first_within_su(self):
+        assert V4_CMT.placement(4) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert V4_CMP_H.placement(4) == [(0, 0), (1, 0), (2, 0), (3, 0)]
+        assert VLT_SCALAR.placement(8) == [(i, 0) for i in range(8)]
+
+    def test_placement_overflow(self):
+        with pytest.raises(ValueError):
+            BASE.placement(2)
+        with pytest.raises(ValueError):
+            VLT_SCALAR.placement(9)
+
+    def test_lane_partitions(self):
+        assert BASE.lane_partitions(1) == [8]
+        assert BASE.lane_partitions(2) == [4, 4]
+        assert BASE.lane_partitions(4) == [2, 2, 2, 2]
+        assert BASE.lane_partitions(8) == [1] * 8
+        with pytest.raises(ValueError):
+            BASE.lane_partitions(3)
+
+
+LOOP = """
+tid s1
+muli s3, s1, 50
+addi s3, s3, 50
+li s2, 0
+loop:
+addi s2, s2, 1
+blt s2, s3, loop
+barrier
+halt
+"""
+
+
+class TestExecution:
+    def test_deterministic(self):
+        prog = assemble(LOOP)
+        a = simulate(prog, V2_CMP, num_threads=2).cycles
+        from repro.timing import clear_trace_cache
+        clear_trace_cache()
+        b = simulate(prog, V2_CMP, num_threads=2).cycles
+        assert a == b
+
+    def test_barrier_waits_for_slowest(self):
+        prog = assemble(LOOP)
+        r = simulate(prog, V2_CMP, num_threads=2)
+        # thread 1 runs a 2x longer loop; both finish together-ish
+        assert r.barrier_count == 1
+        assert abs(r.thread_finish[0] - r.thread_finish[1]) < 50
+
+    def test_thread_finish_recorded(self):
+        prog = assemble(LOOP)
+        r = simulate(prog, V4_CMP, num_threads=4)
+        assert len(r.thread_finish) == 4
+        assert all(0 < t <= r.cycles for t in r.thread_finish)
+
+    def test_trace_cache_reused_across_configs(self):
+        prog = assemble(LOOP)
+        t1 = trace_for(prog, 2)
+        t2 = trace_for(prog, 2)
+        assert t1 is t2
+
+    def test_supplied_trace_thread_count_validated(self):
+        prog = assemble(LOOP)
+        t = trace_for(prog, 2)
+        with pytest.raises(ValueError):
+            simulate(prog, V4_CMP, num_threads=4, trace=t)
+
+    def test_cycle_budget_enforced(self):
+        prog = assemble(LOOP)
+        with pytest.raises(SimulationError):
+            simulate(prog, BASE, num_threads=1, max_cycles=10)
+
+    def test_result_metadata(self):
+        prog = assemble(".program myprog\n" + LOOP)
+        r = simulate(prog, BASE, num_threads=1)
+        assert r.config_name == "base"
+        assert r.program_name == "myprog"
+        assert r.num_threads == 1
+
+    def test_summary_renders(self):
+        prog = assemble(LOOP)
+        r = simulate(prog, BASE, num_threads=1)
+        text = r.summary()
+        assert "cycles" in text and "base" in text
+
+
+class TestLaneSweep:
+    def test_more_lanes_never_slower_for_long_vectors(self):
+        src = """
+        .space x 1024
+        li s10, 0
+        li s11, 3
+        rep:
+        li s1, 64
+        setvl s2, s1
+        li s3, &x
+        vld v1, 0(s3)
+        vfadd.vv v2, v1, v1
+        vfmul.vv v3, v2, v1
+        vfadd.vv v4, v3, v2
+        vst v4, 0(s3)
+        addi s10, s10, 1
+        blt s10, s11, rep
+        halt
+        """
+        prog = assemble(src)
+        cycles = [simulate(prog, base_config(lanes=n)).cycles
+                  for n in (1, 2, 4, 8)]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_vlt_partition_speedup_exists(self):
+        # a short-vector SPMD kernel: 4 threads on V4-CMP beat 1 on base
+        # short vectors with realistic per-iteration scalar overhead: the
+        # base machine is scalar-unit-bound, which is exactly what VLT's
+        # replicated SUs attack (Sections 3-4 of the paper)
+        scalar_pad = "\n".join(f"add s{12 + i % 4}, s10, s11"
+                               for i in range(10))
+        src = f"""
+        tid s1
+        li s10, 0
+        li s11, 300
+        rep:
+        li s2, 8
+        setvl s3, s2
+        {scalar_pad}
+        vfadd.vv v1, v2, v3
+        vfmul.vv v4, v1, v2
+        vfadd.vv v5, v4, v1
+        addi s10, s10, 1
+        blt s10, s11, rep
+        barrier
+        halt
+        """
+        prog = assemble(src)
+        base = simulate(prog, BASE, num_threads=1)
+        vlt = simulate(prog, V4_CMP, num_threads=4)
+        # 4 threads execute 4x the work in much less than 4x the time
+        assert vlt.cycles < base.cycles * 2

@@ -1,0 +1,87 @@
+"""Pipeline-event viewer."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.timing.config import BASE, V2_CMP, VLT_SCALAR
+from repro.timing.pipeview import PipeView, simulate_with_pipeview
+
+SRC = """
+li s1, 8
+setvl s2, s1
+li s3, 5
+add s4, s3, s3
+vfadd.vv v1, v2, v3
+vfmul.vv v4, v1, v2
+halt
+"""
+
+
+class TestPipeView:
+    def test_collects_scalar_and_vector_events(self):
+        prog = assemble(SRC)
+        view, result = simulate_with_pipeview(prog, BASE)
+        kinds = {e.kind for e in view.events}
+        assert kinds == {"issue", "vissue"}
+        scalar = [e for e in view.events if e.kind == "issue"]
+        vector = [e for e in view.events if e.kind == "vissue"]
+        assert len(scalar) == 4   # li/setvl/li/add (halt never issues)
+        assert len(vector) == 2
+        assert all(e.vl == 8 for e in vector)
+        assert result.cycles > 0
+
+    def test_events_are_chronological(self):
+        prog = assemble(SRC)
+        view, _ = simulate_with_pipeview(prog, BASE)
+        cycles = [e.cycle for e in view.events]
+        assert cycles == sorted(cycles)
+
+    def test_truncation(self):
+        prog = assemble(SRC)
+        view, _ = simulate_with_pipeview(prog, BASE, max_events=3)
+        assert view.truncated
+        assert len(view.events) == 3
+
+    def test_start_cycle_filter(self):
+        prog = assemble(SRC)
+        full, _ = simulate_with_pipeview(prog, BASE)
+        later, _ = simulate_with_pipeview(
+            prog, BASE, start_cycle=full.events[-1].cycle)
+        assert len(later.events) < len(full.events)
+
+    def test_listing_and_strip_render(self):
+        prog = assemble(SRC)
+        view, _ = simulate_with_pipeview(prog, BASE)
+        text = view.listing()
+        assert "vfadd.vv vl=8" in text
+        strip = view.strip(width=32)
+        assert "SU0.c0" in strip and "VU.p0" in strip
+        assert "#" in strip
+
+    def test_units_on_multithreaded_machine(self):
+        prog = assemble("""
+        tid s1
+        add s2, s1, s1
+        barrier
+        halt
+        """)
+        view, _ = simulate_with_pipeview(prog, V2_CMP, num_threads=2)
+        assert {"SU0.c0", "SU1.c0"} <= set(view.units())
+
+    def test_lane_core_events(self):
+        prog = assemble("""
+        li s1, 3
+        add s2, s1, s1
+        halt
+        """)
+        view, _ = simulate_with_pipeview(prog, VLT_SCALAR)
+        assert any(e.unit == "lane0" for e in view.events)
+
+    def test_issue_histogram(self):
+        prog = assemble(SRC)
+        view, _ = simulate_with_pipeview(prog, BASE)
+        hist = view.issues_per_cycle()
+        assert sum(hist.values()) == len(view.events)
+
+    def test_empty_view(self):
+        assert PipeView().strip() == "(no events)"

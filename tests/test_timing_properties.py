@@ -1,0 +1,112 @@
+"""Property-based timing invariants (hypothesis).
+
+For randomly generated straight-line programs:
+
+* simulation is deterministic;
+* cycle count is bounded below by issue-width and dependence-chain
+  lower bounds, and above by a full-serialisation upper bound;
+* adding lanes never slows down a vector program (monotonicity);
+* every instruction is issued exactly once.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.functional import Executor
+from repro.isa import F, ProgramBuilder, S, V
+from repro.timing import clear_trace_cache, simulate
+from repro.timing.config import base_config
+
+_SCALAR_OPS = ["add", "sub", "mul", "and", "or", "xor", "min", "max"]
+_VECTOR_OPS = ["vfadd.vv", "vfsub.vv", "vfmul.vv", "vfmin.vv", "vfmax.vv"]
+
+
+@st.composite
+def random_program(draw):
+    """A straight-line mixed scalar/vector program (no memory access)."""
+    n_ops = draw(st.integers(min_value=5, max_value=60))
+    vl = draw(st.integers(min_value=1, max_value=64))
+    b = ProgramBuilder("rand", memory_kib=64)
+    b.op("li", S(1), vl)
+    b.op("setvl", S(2), S(1))
+    b.op("li", S(3), 7)
+    n_scalar = 0
+    for _ in range(n_ops):
+        if draw(st.booleans()):
+            op = draw(st.sampled_from(_SCALAR_OPS))
+            d = draw(st.integers(min_value=4, max_value=12))
+            a = draw(st.integers(min_value=1, max_value=12))
+            c = draw(st.integers(min_value=1, max_value=12))
+            b.op(op, S(d), S(a), S(c))
+            n_scalar += 1
+        else:
+            op = draw(st.sampled_from(_VECTOR_OPS))
+            d = draw(st.integers(min_value=1, max_value=8))
+            a = draw(st.integers(min_value=1, max_value=8))
+            c = draw(st.integers(min_value=1, max_value=8))
+            b.op(op, V(d), V(a), V(c))
+    b.op("halt")
+    return b.build(), n_ops, vl, n_scalar
+
+
+class TestRandomPrograms:
+    @settings(max_examples=25, deadline=None)
+    @given(data=random_program())
+    def test_deterministic(self, data):
+        prog, *_ = data
+        clear_trace_cache()
+        a = simulate(prog, base_config()).cycles
+        clear_trace_cache()
+        b = simulate(prog, base_config()).cycles
+        assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=random_program())
+    def test_cycle_bounds(self, data):
+        prog, n_ops, vl, n_scalar = data
+        clear_trace_cache()
+        r = simulate(prog, base_config())
+        n_total = n_ops + 3  # + li/setvl/li
+        # lower bound: frontend width 4
+        assert r.cycles >= n_total / 4
+        # upper bound: full serialisation with generous per-op cost
+        occupancy = max(1, -(-vl // 8))
+        assert r.cycles <= n_total * (20 + occupancy) + 500
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=random_program())
+    def test_everything_issues_exactly_once(self, data):
+        prog, n_ops, vl, n_scalar = data
+        clear_trace_cache()
+        r = simulate(prog, base_config())
+        n_vector = n_ops - n_scalar
+        assert r.vector_unit.issued == n_vector
+        assert r.vector_unit.element_ops == n_vector * vl
+        # scalar issued = scalar ops + li/setvl/li prologue
+        assert r.scalar_units[0].issued == n_scalar + 3
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=random_program())
+    def test_lane_monotonicity(self, data):
+        prog, *_ = data
+        clear_trace_cache()
+        prev = None
+        for lanes in (1, 2, 4, 8):
+            c = simulate(prog, base_config(lanes=lanes)).cycles
+            if prev is not None:
+                # more lanes never slower (allow tiny jitter from bank
+                # mapping differences)
+                assert c <= prev * 1.05 + 4
+            prev = c
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=random_program())
+    def test_utilization_conservation(self, data):
+        """Busy datapath-cycles == total vector element operations."""
+        prog, n_ops, vl, n_scalar = data
+        clear_trace_cache()
+        r = simulate(prog, base_config())
+        n_vector = n_ops - n_scalar
+        assert r.utilization.busy == n_vector * vl
+        assert r.utilization.total == 3 * 8 * r.cycles

@@ -1,0 +1,58 @@
+"""Physical-vector-register renaming limits (Table 3: 64 physical)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.isa import assemble
+from repro.timing import clear_trace_cache, simulate
+from repro.timing.config import BASE
+
+
+def many_independent_vops(n=40):
+    ops = "\n".join(f"vfadd.vv v{1 + i % 8}, v9, v10" for i in range(n))
+    return assemble(f"""
+    li s9, 0
+    li s10, 3
+    rep:
+    li s1, 64
+    setvl s2, s1
+    {ops}
+    addi s9, s9, 1
+    blt s9, s10, rep
+    halt
+    """)
+
+
+def with_phys(n):
+    return replace(BASE, name=f"base-p{n}", vu=replace(BASE.vu,
+                                                       phys_vregs=n))
+
+
+class TestRenaming:
+    def test_default_budget_never_binds(self):
+        """64 physical - 32 architectural = 32 spares >= the whole VIQ."""
+        prog = many_independent_vops()
+        clear_trace_cache()
+        c64 = simulate(prog, with_phys(64)).cycles
+        clear_trace_cache()
+        c256 = simulate(prog, with_phys(256)).cycles
+        assert c64 == c256
+
+    def test_small_register_file_throttles(self):
+        prog = many_independent_vops()
+        clear_trace_cache()
+        cfull = simulate(prog, with_phys(64)).cycles
+        clear_trace_cache()
+        ctiny = simulate(prog, with_phys(34)).cycles  # 2 spare registers
+        assert ctiny > cfull
+
+    def test_monotone_in_registers(self):
+        prog = many_independent_vops()
+        prev = None
+        for n in (33, 36, 40, 64):
+            clear_trace_cache()
+            c = simulate(prog, with_phys(n)).cycles
+            if prev is not None:
+                assert c <= prev
+            prev = c

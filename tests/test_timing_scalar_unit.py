@@ -1,0 +1,182 @@
+"""Scalar-unit timing model: widths, dependences, caches, prediction.
+
+These are micro-benchmarks in assembly with assertions on cycle counts
+relative to each other (robust against small constant shifts in the
+model) plus a few absolute sanity bounds.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.timing import simulate
+from repro.timing.config import base_config
+from tests.conftest import time_asm
+
+
+def chain_src(n, dep=True):
+    """n scalar adds, either one dependence chain or fully independent."""
+    body = []
+    for i in range(n):
+        if dep:
+            body.append("add s1, s1, s2")
+        else:
+            body.append(f"add s{3 + (i % 8)}, s1, s2")
+    return "li s1, 0\nli s2, 1\n" + "\n".join(body)
+
+
+def warm_phase_cycles(body: str) -> int:
+    """Cycles of a *warm* (second) execution of ``body``.
+
+    The body runs twice through the same pcs (so caches and predictors
+    warm up) with a barrier after each pass; the second barrier-delimited
+    phase is returned.
+    """
+    src = f"""
+    li s20, 0
+    li s21, 2
+    top:
+    {body}
+    barrier
+    addi s20, s20, 1
+    blt s20, s21, top
+    halt
+    """
+    r = time_asm(src)
+    return r.phase_durations()[1]
+
+
+class TestIssueWidthAndDependences:
+    def test_dependent_chain_runs_at_one_per_cycle(self):
+        cycles = warm_phase_cycles(chain_src(200, dep=True))
+        assert cycles >= 200          # 1 op/cycle minimum on the chain
+
+    def test_independent_ops_exploit_width(self):
+        dep = warm_phase_cycles(chain_src(200, dep=True))
+        ind = warm_phase_cycles(chain_src(200, dep=False))
+        assert ind < dep * 0.55
+
+    def test_width_bounds_throughput(self):
+        # 400 independent ops on a 4-wide machine need >= 100 cycles
+        cycles = warm_phase_cycles(chain_src(400, dep=False))
+        assert cycles >= 100
+
+    def test_all_issued(self):
+        r = time_asm(chain_src(50, dep=False) + "\nhalt")
+        # 50 adds + 2 li (halt is not issued)
+        assert r.scalar_units[0].issued == 52
+        assert r.scalar_units[0].committed == 52
+
+
+class TestMemory:
+    def test_l1_hit_vs_miss(self):
+        hit_src = """
+        .f64 x 1.0
+        li s1, &x
+        fld f1, 0(s1)
+        fld f2, 0(s1)
+        fld f3, 0(s1)
+        halt
+        """
+        r = time_asm(hit_src)
+        su = r.scalar_units[0]
+        assert su.l1d_accesses == 3
+        assert su.l1d_misses == 1       # only the cold miss
+
+    def test_load_use_latency_visible(self):
+        src_chain = """
+        .i64 x 5
+        li s1, &x
+        ld s2, 0(s1)
+        add s3, s2, s2
+        halt
+        """
+        src_nouse = """
+        .i64 x 5
+        li s1, &x
+        ld s2, 0(s1)
+        add s3, s1, s1
+        halt
+        """
+        assert time_asm(src_chain).cycles >= time_asm(src_nouse).cycles
+
+    def test_mem_port_limit(self):
+        # 64 independent loads: 2 ports -> >= 32 cycles of port occupancy
+        loads = "\n".join(f"ld s{2 + i % 8}, {(i % 4) * 8}(s1)"
+                          for i in range(64))
+        src = f".space x 64\nli s1, &x\n{loads}\nhalt"
+        r = time_asm(src)
+        assert r.cycles >= 32
+
+
+class TestBranchPrediction:
+    def test_loop_branch_learned(self):
+        src = """
+        li s1, 0
+        li s2, 100
+        loop:
+        addi s1, s1, 1
+        blt s1, s2, loop
+        halt
+        """
+        r = time_asm(src)
+        su = r.scalar_units[0]
+        assert su.branch_lookups == 100
+        # bimodal learns the backward branch quickly; only the exit and
+        # warm-up mispredict
+        assert su.branch_mispredicts <= 4
+
+    def test_alternating_branch_hurts(self):
+        src = """
+        li s1, 0
+        li s2, 100
+        li s5, 1
+        loop:
+        andi s3, s1, 1
+        beq s3, s0, even
+        nop
+        even:
+        addi s1, s1, 1
+        blt s1, s2, loop
+        halt
+        """
+        r = time_asm(src)
+        assert r.scalar_units[0].branch_mispredicts >= 40
+        assert r.scalar_units[0].fetch_stall_cycles > 0
+
+
+class TestSMT:
+    def test_two_threads_share_one_su(self):
+        src = """
+        tid s1
+        li s2, 0
+        li s3, 300
+        loop:
+        addi s2, s2, 1
+        blt s2, s3, loop
+        barrier
+        halt
+        """
+        from repro.timing.config import CONFIGS
+        prog = assemble(src)
+        one = simulate(prog, base_config(), num_threads=1)
+        smt = simulate(prog, CONFIGS["V2-SMT"], num_threads=2)
+        # two dependent-chain threads on one SMT SU overlap well: the
+        # combined run is far below 2x a single thread, but not free
+        assert smt.cycles < one.cycles * 1.8
+        assert smt.cycles >= one.cycles * 0.9
+
+    def test_two_sus_run_threads_independently(self):
+        src = """
+        li s2, 0
+        li s3, 300
+        loop:
+        addi s2, s2, 1
+        blt s2, s3, loop
+        barrier
+        halt
+        """
+        from repro.timing.config import CONFIGS
+        prog = assemble(src)
+        one = simulate(prog, base_config(), num_threads=1)
+        cmp2 = simulate(prog, CONFIGS["V2-CMP"], num_threads=2)
+        assert cmp2.cycles <= one.cycles * 1.3

@@ -1,0 +1,177 @@
+"""Vector unit timing: occupancy, chaining, issue width, partitioning."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.timing import simulate
+from repro.timing.config import BASE, base_config
+from tests.conftest import time_asm
+
+
+def vec_body(n_instr, vl, dep=False):
+    """n vector fp adds at the given VL, independent or one chain."""
+    setup = f"li s1, {vl}\nsetvl s2, s1\n"
+    ops = []
+    for i in range(n_instr):
+        if dep:
+            ops.append("vfadd.vv v1, v1, v2")
+        else:
+            ops.append(f"vfadd.vv v{3 + i % 8}, v1, v2")
+    return setup + "\n".join(ops)
+
+
+def warm_cycles(body, lanes=8):
+    src = f"""
+    li s20, 0
+    li s21, 2
+    top:
+    {body}
+    barrier
+    addi s20, s20, 1
+    blt s20, s21, top
+    halt
+    """
+    r = time_asm(src, lanes=lanes)
+    return r.phase_durations()[1], r
+
+
+class TestOccupancy:
+    def test_occupancy_scales_inversely_with_lanes(self):
+        # dependent chain of VL-64 ops: each takes ceil(64/lanes) cycles
+        body = vec_body(40, 64, dep=True)
+        c8, _ = warm_cycles(body, lanes=8)
+        c1, _ = warm_cycles(body, lanes=1)
+        # 1 lane: 64 cycles/op vs 8 lanes: 8 cycles/op
+        assert c1 > c8 * 4
+
+    def test_short_vectors_do_not_benefit_from_lanes(self):
+        body = vec_body(40, 4, dep=True)
+        c8, _ = warm_cycles(body, lanes=8)
+        c4, _ = warm_cycles(body, lanes=4)
+        # VL=4 occupies 1 cycle on both 4 and 8 lanes
+        assert abs(c8 - c4) <= max(4, 0.1 * c4)
+
+    def test_element_ops_counted(self):
+        src = vec_body(10, 16) + "\nhalt"
+        r = time_asm(src)
+        assert r.vector_unit.element_ops == 160
+        assert r.vector_unit.issued == 10
+
+
+class TestChaining:
+    def test_dependent_chain_vs_independent(self):
+        dep, _ = warm_cycles(vec_body(30, 64, dep=True))
+        ind, _ = warm_cycles(vec_body(30, 64, dep=False))
+        # with 3 FUs and chaining, independent ops overlap more
+        assert ind <= dep
+
+    def test_chained_chain_faster_than_full_serialisation(self):
+        # 30 dependent VL-64 ops at 8 lanes: occupancy 8 each.
+        # Chaining starts a dependent op chain_delay after its producer,
+        # so the chain runs at ~8 cycles/op, not (8+latency)/op.
+        dep, _ = warm_cycles(vec_body(30, 64, dep=True))
+        assert dep < 30 * (8 + 3) + 60   # well under unchained serial time
+
+
+class TestIssueBandwidth:
+    def test_two_per_cycle_limit(self):
+        # 60 independent VL-4 ops: occupancy 1 cycle each, so VCL issue
+        # width (2/cycle) is the limiter: >= 30 cycles
+        c, _ = warm_cycles(vec_body(60, 4, dep=False))
+        assert c >= 30
+
+    def test_long_vectors_saturate_fus_at_low_issue_rate(self):
+        # 3 FUs x occupancy 8 = one instruction every ~2.7 cycles busies
+        # all FUs; issue width 2 is not the limiter for VL 64
+        c, r = warm_cycles(vec_body(60, 64, dep=False))
+        assert c >= 60 * 8 / 3 * 0.8
+
+
+class TestVIQBackpressure:
+    def test_dispatch_stalls_when_viq_full(self):
+        # many long-occupancy vector ops from a fast frontend
+        src = vec_body(80, 64, dep=False) + "\nhalt"
+        r = time_asm(src, lanes=1)
+        assert r.scalar_units[0].dispatch_stall_viq > 0
+
+
+class TestUtilizationAccounting:
+    def test_buckets_sum_to_total(self):
+        src = vec_body(20, 24, dep=True) + "\nhalt"
+        r = time_asm(src)
+        u = r.utilization
+        assert u.total == 3 * 8 * r.cycles
+        assert u.busy > 0
+
+    def test_partial_idle_from_odd_vl(self):
+        # VL 12 on 8 lanes: 2-cycle occupancy covering 12 of 16 slots
+        src = vec_body(20, 12, dep=True) + "\nhalt"
+        r = time_asm(src)
+        assert r.utilization.partly_idle > 0
+
+    def test_full_vl_has_no_partial_idle(self):
+        src = vec_body(20, 64, dep=True) + "\nhalt"
+        r = time_asm(src)
+        assert r.utilization.partly_idle == 0
+
+    def test_fractions_sum_to_one(self):
+        src = vec_body(20, 24, dep=True) + "\nhalt"
+        r = time_asm(src)
+        assert sum(r.utilization.fractions().values()) == pytest.approx(1.0)
+
+
+class TestScalarVectorInteraction:
+    def test_scalar_operand_feeds_vector(self):
+        src = """
+        li s1, 64
+        setvl s2, s1
+        li s3, 7
+        vadd.vs v1, v2, s3
+        vredsum s4, v1
+        halt
+        """
+        r = time_asm(src)
+        assert r.cycles > 0
+        assert r.vector_unit.issued == 2
+
+    def test_reduction_returns_to_scalar_side(self):
+        # the scalar consumer of a reduction must wait for the VU
+        src = """
+        li s1, 64
+        setvl s2, s1
+        vfadd.vv v1, v2, v3
+        vfredsum f1, v1
+        fadd f2, f1, f1
+        halt
+        """
+        r = time_asm(src)
+        # reduction completes after occupancy + latency + transfers
+        assert r.cycles >= 8 + 8
+
+
+class TestVectorMemoryTiming:
+    def test_unit_stride_faster_than_strided(self):
+        # ten 64-element loads each; the strided variant's 512-byte
+        # stride maps all elements onto two L2 banks (bank camping)
+        unit_loads = "\n".join(
+            f"vld v{1 + i % 8}, {i * 512}(s3)" for i in range(10))
+        strided_loads = "\n".join(
+            f"vlds v{1 + i % 8}, {i * 8}(s3), s4" for i in range(10))
+        unit = f"""
+        .space x 32768
+        li s1, 64
+        setvl s2, s1
+        li s3, &x
+        {unit_loads}
+        """
+        strided = f"""
+        .space x 32768
+        li s1, 64
+        setvl s2, s1
+        li s3, &x
+        li s4, 512
+        {strided_loads}
+        """
+        cu, _ = warm_cycles(unit)
+        cs, _ = warm_cycles(strided)
+        assert cs > cu * 1.5

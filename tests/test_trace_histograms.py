@@ -1,0 +1,69 @@
+"""Trace histogram helpers and the CLI mix/verify verbs."""
+
+import pytest
+
+from repro.functional import Executor
+from repro.isa import assemble
+
+
+def _trace(src, nt=1):
+    return Executor(assemble(src), num_threads=nt).run()
+
+
+class TestHistograms:
+    SRC = """
+    li s1, 8
+    setvl s2, s1
+    vadd.vv v1, v2, v3
+    vadd.vv v4, v5, v6
+    add s3, s1, s1
+    halt
+    """
+
+    def test_opcode_histogram(self):
+        t = _trace(self.SRC)
+        hist = t.threads[0].opcode_histogram()
+        assert hist["vadd.vv"] == 2
+        assert hist["li"] == 1
+        assert hist["halt"] == 1
+
+    def test_pool_histogram(self):
+        t = _trace(self.SRC)
+        hist = t.threads[0].pool_histogram()
+        assert hist["varith"] == 2
+        assert hist["arith"] == 3  # li, setvl, add
+
+    def test_merged_across_threads(self):
+        t = _trace("tid s1\nadd s2, s1, s1\nbarrier\nhalt", nt=4)
+        hist = t.merged_opcode_histogram()
+        assert hist["add"] == 4
+        assert hist["barrier"] == 4
+
+
+class TestCliVerbs:
+    def test_mix_verb(self, capsys):
+        from repro.harness.cli import main
+        assert main(["mix", "--apps", "trfd"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic instructions" in out
+        assert "setvl" in out
+
+    def test_verify_verb(self, capsys):
+        from repro.harness.cli import main
+        assert main(["verify", "--apps", "sage"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "sage" in out
+
+    def test_run_verb(self, capsys):
+        from repro.harness.cli import main
+        assert main(["run", "trfd", "--config", "V2-CMP",
+                     "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "V2-CMP" in out
+
+    def test_run_verb_scalar_only(self, capsys):
+        from repro.harness.cli import main
+        assert main(["run", "ocean", "--config", "VLT-scalar",
+                     "--threads", "8", "--scalar-only"]) == 0
+        out = capsys.readouterr().out
+        assert "VLT-scalar" in out

@@ -1,0 +1,129 @@
+"""Workload self-checks and Table 4 characteristic bands."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (PAPER_TABLE4, all_workload_names, characterize,
+                             get_workload)
+from repro.workloads.base import VerificationError
+
+
+class TestRegistry:
+    def test_all_nine_registered(self):
+        assert all_workload_names() == [
+            "mxm", "sage", "mpenc", "trfd", "multprec", "bt",
+            "radix", "ocean", "barnes"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_singleton_instances(self):
+        assert get_workload("mxm") is get_workload("mxm")
+
+    def test_program_cached(self):
+        w = get_workload("trfd")
+        assert w.program() is w.program()
+
+
+class TestVerification:
+    @pytest.mark.parametrize("name", all_workload_names())
+    def test_single_thread_correct(self, name):
+        get_workload(name).run_and_verify(num_threads=1)
+
+    @pytest.mark.parametrize("name", all_workload_names())
+    def test_max_threads_correct(self, name):
+        w = get_workload(name)
+        w.run_and_verify(num_threads=w.thread_counts[-1])
+
+    @pytest.mark.parametrize("name", ["mpenc", "trfd", "multprec", "bt"])
+    def test_vlt_thread_counts(self, name):
+        w = get_workload(name)
+        for nt in w.thread_counts:
+            w.run_and_verify(num_threads=nt)
+
+    @pytest.mark.parametrize("name", ["radix", "ocean", "barnes"])
+    def test_scalar_flavour_correct(self, name):
+        w = get_workload(name)
+        w.run_and_verify(num_threads=8, scalar_only=True)
+        w.run_and_verify(num_threads=4, scalar_only=True)
+
+    @pytest.mark.parametrize("name", ["radix", "ocean", "barnes"])
+    def test_scalar_flavour_has_no_vector_code(self, name):
+        w = get_workload(name)
+        prog = w.program(scalar_only=True)
+        assert not any(i.spec.is_vector for i in prog.instrs)
+
+    @pytest.mark.parametrize("name", ["mxm", "sage", "trfd"])
+    def test_vector_apps_reject_scalar_flavour(self, name):
+        with pytest.raises(ValueError):
+            get_workload(name).build(scalar_only=True)
+
+
+class TestTable4Bands:
+    """Measured characteristics must land near the paper's Table 4."""
+
+    @pytest.mark.parametrize("name,lo,hi", [
+        ("mxm", 85, 100), ("sage", 88, 100), ("mpenc", 66, 86),
+        ("trfd", 63, 90), ("multprec", 60, 80), ("bt", 38, 58),
+        ("radix", 2, 16),
+    ])
+    def test_pct_vect(self, name, lo, hi):
+        c = characterize(name, measure_opportunity=False)
+        assert lo <= c.pct_vect <= hi
+
+    @pytest.mark.parametrize("name", ["ocean", "barnes"])
+    def test_scalar_apps_have_no_vector(self, name):
+        c = characterize(name, measure_opportunity=False)
+        assert c.pct_vect == 0
+
+    @pytest.mark.parametrize("name,lo,hi", [
+        ("mxm", 63, 64), ("sage", 63, 64), ("mpenc", 8, 14),
+        ("trfd", 18, 28), ("multprec", 22, 28), ("bt", 5.5, 8.5),
+        ("radix", 55, 64),
+    ])
+    def test_avg_vl(self, name, lo, hi):
+        c = characterize(name, measure_opportunity=False)
+        assert lo <= c.avg_vl <= hi
+
+    @pytest.mark.parametrize("name,expected_subset", [
+        ("mpenc", {8, 16, 64}),
+        ("trfd", {20, 30, 35}),
+        ("multprec", {23, 24, 64}),
+        ("bt", {5, 10, 12}),
+        ("radix", {24, 52, 64}),
+    ])
+    def test_common_vls(self, name, expected_subset):
+        c = characterize(name, measure_opportunity=False)
+        assert expected_subset <= set(c.common_vls)
+
+    @pytest.mark.parametrize("name,lo", [
+        ("mpenc", 65), ("trfd", 90), ("multprec", 70), ("bt", 55),
+        ("radix", 80), ("ocean", 80), ("barnes", 90),
+    ])
+    def test_opportunity(self, name, lo):
+        c = characterize(name)
+        assert c.pct_opportunity is not None
+        assert c.pct_opportunity >= lo
+
+    def test_long_vector_apps_skip_opportunity(self):
+        c = characterize("mxm")
+        assert c.pct_opportunity is None
+
+    def test_row_rendering(self):
+        c = characterize("bt", measure_opportunity=False)
+        row = c.row()
+        assert row[0] == "bt"
+        assert all(isinstance(x, str) for x in row)
+
+
+class TestPhaseMask:
+    def test_default_all_parallel(self):
+        w = get_workload("mxm")
+        assert w.phase_parallel_mask(3) == [True] * 3
+
+    def test_declared_mask_padded_by_repetition(self):
+        w = get_workload("ocean")
+        m = w.phase_parallel_mask(20)
+        assert len(m) == 20
+        assert not all(m)

@@ -1,0 +1,120 @@
+"""SPMD helper emitters in repro.workloads.common."""
+
+import numpy as np
+import pytest
+
+from repro.functional import Executor
+from repro.isa import F, ProgramBuilder, S
+from repro.workloads.common import (R_NTID, R_TID, counted_loop, emit_chunk,
+                                    emit_parallel_reduce_f64,
+                                    parallel_barrier, serial_section,
+                                    spmd_prologue)
+
+
+class TestEmitChunk:
+    @pytest.mark.parametrize("n,nt", [(100, 1), (100, 2), (100, 4),
+                                      (100, 8), (7, 8), (8, 8), (0, 4)])
+    def test_chunks_partition_range(self, n, nt):
+        b = ProgramBuilder("chunk", memory_kib=64)
+        out = b.data_i64("out", 16)
+        spmd_prologue(b)
+        lo, hi, t0 = S(1), S(2), S(3)
+        emit_chunk(b, n, lo, hi, t0)
+        a = S(4)
+        b.op("slli", a, R_TID, 4)
+        b.op("addi", a, a, out.addr)
+        b.op("st", lo, (0, a))
+        b.op("st", hi, (8, a))
+        b.op("barrier")
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog, num_threads=nt)
+        ex.run()
+        vals = ex.mem.read_i64_array(out.addr, 2 * nt).reshape(nt, 2)
+        covered = []
+        for t in range(nt):
+            lo_v, hi_v = int(vals[t, 0]), int(vals[t, 1])
+            assert 0 <= lo_v <= hi_v <= n
+            covered.extend(range(lo_v, hi_v))
+        assert sorted(covered) == list(range(n))  # exact partition
+
+
+class TestParallelReduce:
+    @pytest.mark.parametrize("nt", [1, 2, 4, 8])
+    def test_sums_one_value_per_thread(self, nt):
+        b = ProgramBuilder("reduce", memory_kib=64)
+        b.data_f64("parts", 8)
+        b.data_f64("out", 1)
+        spmd_prologue(b)
+        val = F(1)
+        # thread t contributes t + 0.5
+        b.op("itof", val, R_TID)
+        b.op("fli", F(2), 0.5)
+        b.op("fadd", val, val, F(2))
+        emit_parallel_reduce_f64(b, val, "parts", "out",
+                                 S(1), F(3), F(4))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog, num_threads=nt)
+        ex.run()
+        got = ex.mem.read_f64_array(prog.symbol_addr("out"), 1)[0]
+        assert got == pytest.approx(sum(t + 0.5 for t in range(nt)))
+
+
+class TestSerialSection:
+    def test_runs_once(self):
+        b = ProgramBuilder("ser", memory_kib=64)
+        out = b.data_i64("out", 1)
+        spmd_prologue(b)
+        with serial_section(b):
+            a = S(1)
+            b.op("li", a, out.addr)
+            v = S(2)
+            b.op("ld", v, (0, a))
+            b.op("addi", v, v, 1)
+            b.op("st", v, (0, a))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog, num_threads=8)
+        ex.run()
+        assert ex.mem.load_i64(out.addr) == 1
+
+
+class TestCountedLoop:
+    def test_zero_trip(self):
+        b = ProgramBuilder("z", memory_kib=64)
+        out = b.data_i64("out", 1)
+        bound = S(1)
+        b.op("li", bound, 0)
+        i = S(2)
+        with counted_loop(b, i, bound):
+            a = S(3)
+            b.op("li", a, out.addr)
+            b.op("st", bound, (0, a))  # would write 0 over 0 anyway
+            b.op("li", S(4), 1)
+            b.op("st", S(4), (0, a))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        assert ex.mem.load_i64(out.addr) == 0
+
+    def test_register_start(self):
+        b = ProgramBuilder("rs", memory_kib=64)
+        out = b.data_i64("out", 1)
+        lo, hi = S(1), S(2)
+        b.op("li", lo, 3)
+        b.op("li", hi, 9)
+        acc = S(3)
+        b.op("li", acc, 0)
+        i = S(4)
+        with counted_loop(b, i, hi, start=lo):
+            b.op("add", acc, acc, i)
+        a = S(5)
+        b.op("li", a, out.addr)
+        b.op("st", acc, (0, a))
+        b.op("halt")
+        prog = b.build()
+        ex = Executor(prog)
+        ex.run()
+        assert ex.mem.load_i64(out.addr) == sum(range(3, 9))
