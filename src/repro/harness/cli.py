@@ -7,6 +7,13 @@ Usage::
     vlt-repro all
     vlt-repro all --experiments-md EXPERIMENTS.md   # rewrite the doc
     vlt-repro fig1 --apps mpenc,trfd --lanes 1,8    # narrower/faster
+    vlt-repro run mxm --config base --threads 4     # one run, full stats
+    vlt-repro trace mxm --out trace.json            # Perfetto trace +
+                                                    # stall attribution
+    vlt-repro profile mxm --threads 4               # host-side phase
+                                                    # profile
+    vlt-repro determinism                           # tracing on/off
+                                                    # cycle-identity check
 """
 
 from __future__ import annotations
@@ -75,11 +82,10 @@ def run_single(app: str, config: str = "base", threads: int = 1,
     prog = w.program(scalar_only=scalar_only)
     cfg = get_config(config)
     r = simulate(prog, cfg, num_threads=threads)
-    lines = [r.summary()]
+    lines = [r.summary()]   # includes L2 bank-conflict cycles
     if r.phase_release_cycles:
         lines.append(f"  phases: {r.phase_durations()}")
     lines.append(f"  thread finish times: {r.thread_finish}")
-    lines.append(f"  L2 bank-conflict cycles: {r.l2_bank_conflict_cycles}")
     for i, s in enumerate(r.scalar_units):
         if s.fetched:
             lines.append(
@@ -88,6 +94,113 @@ def run_single(app: str, config: str = "base", threads: int = 1,
                 f"{s.l1d_misses}/{s.l1d_accesses}; VIQ dispatch stalls "
                 f"{s.dispatch_stall_viq}")
     return "\n".join(lines)
+
+
+def run_trace(app: str, config: str = "base", threads: int = 1,
+              scalar_only: bool = False, out: Optional[str] = None,
+              max_events: int = 1_000_000) -> str:
+    """Run one workload fully instrumented; write a Chrome trace-event
+    JSON (loads in Perfetto) and return the stall-attribution report."""
+    from ..obs import render_stall_report, write_chrome_trace
+    from ..timing import simulate_traced
+    from ..timing.config import get_config
+    from ..workloads import get_workload
+    w = get_workload(app)
+    prog = w.program(scalar_only=scalar_only)
+    cfg = get_config(config)
+    tr = simulate_traced(prog, cfg, num_threads=threads,
+                         max_events=max_events)
+    lines = []
+    if out:
+        n = write_chrome_trace(
+            out, tr.events.events,
+            process_name=f"vlt-sim:{app}@{config}",
+            metadata={"app": app, "config": config, "threads": threads,
+                      "cycles": tr.result.cycles,
+                      "truncated": tr.events.truncated})
+        lines.append(f"wrote {n} trace records to {out}"
+                     + (" (event log truncated)" if tr.events.truncated
+                        else ""))
+    lines.append(render_stall_report(tr.result))
+    vl = tr.metrics.histograms().get("vl")
+    if vl is not None and vl.count:
+        lines.append(
+            f"  VL distribution: n={vl.count}, mean={vl.mean:.1f}, "
+            f"p50={vl.percentile(50)}, p90={vl.percentile(90)}, "
+            f"max={max(vl.buckets)}")
+    timeline = tr.metrics_sink.conflict_timeline()
+    if timeline:
+        worst = max(timeline, key=lambda bw: bw[1])
+        lines.append(
+            f"  L2 bank-conflict timeline: {len(timeline)} hot buckets, "
+            f"worst {worst[1]} conflict cycles @ cycle {worst[0]}")
+    return "\n".join(lines)
+
+
+def run_profile(app: str, config: str = "base", threads: int = 1,
+                scalar_only: bool = False,
+                json_path: Optional[str] = None) -> str:
+    """Host-side self-profiling: wall time per simulation phase."""
+    from ..timing import clear_trace_cache
+    from ..timing.run import simulate, trace_for
+    from ..timing.config import get_config
+    from ..obs.hostprof import PhaseProfiler
+    from ..workloads import get_workload
+    w = get_workload(app)
+    prog = w.program(scalar_only=scalar_only)
+    cfg = get_config(config)
+    clear_trace_cache()   # so trace_generation is actually measured
+    prof = PhaseProfiler()
+    r = simulate(prog, cfg, num_threads=threads, profiler=prof)
+    ops = sum(len(t.ops) for t in
+              trace_for(prog, threads).threads)
+    total = prof.total_wall_s
+    lines = [
+        f"profile {app} on {config} ({threads} threads): "
+        f"{r.cycles} cycles, {ops} dynamic instructions",
+        prof.report(),
+        f"  simulated throughput: "
+        f"{r.cycles / total if total else 0:,.0f} cycles/s host, "
+        f"{ops / total if total else 0:,.0f} ops/s host",
+    ]
+    if json_path:
+        payload = {"app": app, "config": config, "threads": threads,
+                   "cycles": r.cycles, "dynamic_ops": ops,
+                   "phases": prof.as_dict(),
+                   "total_wall_s": total}
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        lines.append(f"wrote {json_path}")
+    return "\n".join(lines)
+
+
+def check_determinism(app: str = "mxm", config: str = "base",
+                      threads: int = 1) -> str:
+    """Two runs of ``app`` -- tracing off and on, fresh functional traces
+    each time -- must produce identical cycle counts.  Raises on drift."""
+    from ..timing import clear_trace_cache, simulate, simulate_traced
+    from ..timing.config import get_config
+    from ..workloads import get_workload
+    cfg = get_config(config)
+    cycles = []
+    for label in ("off-1", "off-2", "on-1", "on-2"):
+        clear_trace_cache()
+        prog = get_workload(app).program()
+        if label.startswith("off"):
+            r = simulate(prog, cfg, num_threads=threads)
+        else:
+            r = simulate_traced(prog, cfg, num_threads=threads,
+                                max_events=100_000).result
+        cycles.append((label, r.cycles))
+    values = {c for _, c in cycles}
+    detail = ", ".join(f"{lbl}={c}" for lbl, c in cycles)
+    if len(values) != 1:
+        raise AssertionError(
+            f"non-deterministic cycle counts for {app} on {config}: "
+            f"{detail}")
+    return (f"determinism OK: {app} on {config} ({threads} threads) -> "
+            f"{cycles[0][1]} cycles across tracing on/off re-runs "
+            f"({detail})")
 
 
 def run_experiment_data(name: str, apps: Optional[List[str]] = None,
@@ -164,7 +277,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--threads", type=int, default=1,
                         help="thread count for the 'run' verb")
     parser.add_argument("--scalar-only", action="store_true",
-                        help="use the scalar program flavour ('run' verb)")
+                        help="use the scalar program flavour "
+                             "('run'/'trace'/'profile' verbs)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="Chrome trace-event JSON output path "
+                             "('trace' verb)")
+    parser.add_argument("--max-events", type=int, default=1_000_000,
+                        help="event-log bound for the 'trace' verb")
     args = parser.parse_args(argv)
 
     if args.experiments[0] == "run":
@@ -174,6 +293,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_single(args.experiments[1], config=args.config,
                          threads=args.threads,
                          scalar_only=args.scalar_only))
+        return 0
+
+    if args.experiments[0] == "trace":
+        if len(args.experiments) != 2:
+            parser.error("usage: vlt-repro trace <app> [--out trace.json] "
+                         "[--config C] [--threads N] [--max-events M]")
+        print(run_trace(args.experiments[1], config=args.config,
+                        threads=args.threads,
+                        scalar_only=args.scalar_only, out=args.out,
+                        max_events=args.max_events))
+        return 0
+
+    if args.experiments[0] == "profile":
+        if len(args.experiments) != 2:
+            parser.error("usage: vlt-repro profile <app> [--config C] "
+                         "[--threads N] [--json path]")
+        print(run_profile(args.experiments[1], config=args.config,
+                          threads=args.threads,
+                          scalar_only=args.scalar_only,
+                          json_path=args.json))
+        return 0
+
+    if args.experiments[0] == "determinism":
+        app = args.experiments[1] if len(args.experiments) > 1 else "mxm"
+        print(check_determinism(app, config=args.config,
+                                threads=args.threads))
         return 0
 
     names = args.experiments

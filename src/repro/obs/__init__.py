@@ -1,0 +1,46 @@
+"""Observability subsystem: event tracing, metrics, exporters, profiling.
+
+The timing simulator (:mod:`repro.timing`) emits typed events -- issues,
+commits, stalls-with-reason, cache misses, bank conflicts, barriers,
+VL reconfigurations -- onto an :class:`EventBus`.  When no sink is
+attached (the default), every emission site short-circuits on a single
+``bus.enabled`` check: tracing costs nothing and simulated cycle counts
+are bit-identical to an uninstrumented run.
+
+Building blocks:
+
+* :mod:`repro.obs.events` -- the bus, the typed :class:`Event`, the
+  :class:`StallReason` taxonomy and the bounded :class:`EventLog` sink;
+* :mod:`repro.obs.metrics` -- a counter/histogram registry fed by
+  :class:`MetricsSink` (VL distribution, per-unit stall breakdown,
+  L2 bank-conflict timeline);
+* :mod:`repro.obs.chrome_trace` -- Chrome trace-event JSON export for
+  Perfetto / chrome://tracing occupancy timelines;
+* :mod:`repro.obs.stall_report` -- the top-down Figure-4-style
+  stall-attribution report;
+* :mod:`repro.obs.hostprof` -- host-side wall-time profiling of the
+  simulation phases themselves.
+
+The one-call entry point is
+:func:`repro.timing.run.simulate_traced`; the CLI surface is
+``vlt-repro trace`` and ``vlt-repro profile``.
+"""
+
+from .chrome_trace import to_chrome_trace, write_chrome_trace
+from .events import (BANK_CONFLICT, BARRIER_ARRIVE, BARRIER_RELEASE,
+                     CACHE_MISS, COMMIT, EVENT_KINDS, Event, EventBus,
+                     EventLog, ISSUE, LANE_ISSUE, NULL_BUS, STALL,
+                     StallReason, VISSUE, VLCFG)
+from .hostprof import PhaseProfiler, PhaseTiming
+from .metrics import Counter, Histogram, MetricsRegistry, MetricsSink
+from .stall_report import render_stall_report, stall_attribution
+
+__all__ = [
+    "BANK_CONFLICT", "BARRIER_ARRIVE", "BARRIER_RELEASE", "CACHE_MISS",
+    "COMMIT", "EVENT_KINDS", "Event", "EventBus", "EventLog", "ISSUE",
+    "LANE_ISSUE", "NULL_BUS", "STALL", "StallReason", "VISSUE", "VLCFG",
+    "PhaseProfiler", "PhaseTiming",
+    "Counter", "Histogram", "MetricsRegistry", "MetricsSink",
+    "to_chrome_trace", "write_chrome_trace",
+    "render_stall_report", "stall_attribution",
+]

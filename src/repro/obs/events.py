@@ -1,0 +1,239 @@
+"""Typed simulation events and the event bus.
+
+The observability layer is built around one invariant: **when nothing is
+attached, instrumentation costs (almost) nothing**.  Every emission site
+in the timing simulator is guarded by a single attribute check::
+
+    obs = self.obs
+    if obs.enabled:
+        obs.emit(Event(...))
+
+A disabled :class:`EventBus` (the "null sink" fast path) never allocates
+an :class:`Event` and never calls a sink, so the timing model's cycle
+counts and wall time are unchanged.  When at least one sink is attached
+the bus becomes enabled and every typed event produced by the timing
+units flows to all sinks in emission order (which is deterministic,
+because the simulator itself is deterministic).
+
+Event taxonomy
+--------------
+
+========== ==================================================================
+kind        meaning
+========== ==================================================================
+ISSUE       a scalar-unit context issued an instruction to execution
+VISSUE      the VCL issued a vector instruction to a partition FU slice
+LANE_ISSUE  a lane core (Section 5 mode) issued an instruction
+COMMIT      a scalar-unit ROB head committed
+STALL       a unit lost cycles for an attributable reason (see
+            :class:`StallReason`); ``dur`` is the lost-cycle count
+CACHE_MISS  a tag-array miss in any modelled cache (L1I/L1D/lane-I$/L2)
+BANK_CONFLICT  an L2 bank transaction was delayed behind a busy bank;
+            ``dur`` is the delay in cycles
+BARRIER_ARRIVE / BARRIER_RELEASE  thread barrier lifecycle
+VLCFG       a dynamic VLT repartition (``vltcfg``) took effect
+========== ==================================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..functional.trace import DynOp
+
+# -- event kinds (interned strings: cheap to construct/compare) -------------
+
+ISSUE = "issue"
+VISSUE = "vissue"
+LANE_ISSUE = "lane_issue"
+COMMIT = "commit"
+STALL = "stall"
+CACHE_MISS = "cache_miss"
+BANK_CONFLICT = "bank_conflict"
+BARRIER_ARRIVE = "barrier_arrive"
+BARRIER_RELEASE = "barrier_release"
+VLCFG = "vlcfg"
+
+EVENT_KINDS = frozenset({
+    ISSUE, VISSUE, LANE_ISSUE, COMMIT, STALL, CACHE_MISS, BANK_CONFLICT,
+    BARRIER_ARRIVE, BARRIER_RELEASE, VLCFG})
+
+
+class StallReason(enum.Enum):
+    """Why a unit lost cycles -- the stall taxonomy of
+    ``docs/timing-model.md`` made machine-readable.
+
+    Scalar-unit reasons:
+
+    * ``L1I_MISS`` -- fetch stalled on an instruction-cache refill;
+    * ``BRANCH_MISPREDICT`` -- fetch stalled from a mispredicted branch's
+      fetch until its execution plus the redirect penalty;
+    * ``VIQ_FULL`` -- vector dispatch blocked because the thread's VIQ
+      partition slice is full (vector-unit backpressure);
+    * ``VRENAME_FULL`` -- vector dispatch blocked on physical
+      vector-register renaming budget (Table 3: 64 physical registers).
+
+    Lane-core reasons (Section 5 lanes-as-scalar-cores mode):
+
+    * ``LANE_IMISS`` -- lane I-cache miss, serviced through the SU;
+    * ``OPERAND`` -- in-order execute stream blocked on a not-ready
+      source operand (the decoupled access stream may still slip ahead);
+    * ``LANE_MISPREDICT`` -- shallow-pipeline branch mispredict.
+    """
+
+    L1I_MISS = "l1i_miss"
+    BRANCH_MISPREDICT = "branch_mispredict"
+    VIQ_FULL = "viq_full"
+    VRENAME_FULL = "vrename_full"
+    LANE_IMISS = "lane_imiss"
+    OPERAND = "operand"
+    LANE_MISPREDICT = "lane_mispredict"
+
+
+class Event:
+    """One typed simulation event.
+
+    ``dynop`` is the live :class:`~repro.functional.trace.DynOp` for
+    instruction events (``ISSUE``/``VISSUE``/``LANE_ISSUE``/``COMMIT``)
+    and ``None`` otherwise.  ``dur`` carries a duration in cycles where
+    meaningful (issue latency / FU occupancy / stall length / bank
+    delay).  ``arg`` is a kind-specific payload (cache/FU label, address,
+    bank index, partition count...).
+    """
+
+    __slots__ = ("cycle", "kind", "unit", "dynop", "dur", "reason", "arg")
+
+    def __init__(self, cycle: int, kind: str, unit: str,
+                 dynop: Optional[DynOp] = None, dur: int = 0,
+                 reason: Optional[StallReason] = None, arg=None):
+        self.cycle = cycle
+        self.kind = kind
+        self.unit = unit
+        self.dynop = dynop
+        self.dur = dur
+        self.reason = reason
+        self.arg = arg
+
+    # Convenience accessors for instruction events --------------------------
+
+    @property
+    def op(self) -> str:
+        return self.dynop.op if self.dynop is not None else ""
+
+    @property
+    def pc(self) -> int:
+        return self.dynop.pc if self.dynop is not None else -1
+
+    @property
+    def vl(self) -> int:
+        return self.dynop.vl if self.dynop is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = [f"c{self.cycle}", self.kind, self.unit]
+        if self.dynop is not None:
+            bits.append(self.op)
+        if self.reason is not None:
+            bits.append(self.reason.value)
+        if self.dur:
+            bits.append(f"dur={self.dur}")
+        return "<Event " + " ".join(bits) + ">"
+
+
+class EventBus:
+    """Dispatches typed events to attached sinks.
+
+    ``enabled`` is the hot-path gate: emission sites check it before
+    constructing an :class:`Event`.  It flips to True on the first
+    :meth:`attach` and back to False when the last sink detaches.
+
+    ``now`` is maintained by the machine's main loop (only while
+    enabled) so emission sites that have no natural cycle argument --
+    tag-array misses deep inside :class:`repro.timing.caches.Cache` --
+    can still timestamp their events.
+    """
+
+    __slots__ = ("enabled", "now", "_sinks", "_suppress")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.now = 0
+        self._sinks: List = []
+        self._suppress = 0
+
+    # -- sink management ----------------------------------------------------
+
+    def attach(self, sink) -> None:
+        """Attach a sink (any object with ``on_event(event)``)."""
+        if not callable(getattr(sink, "on_event", None)):
+            raise TypeError(f"sink {sink!r} has no on_event(event) method")
+        self._sinks.append(sink)
+        self.enabled = not self._suppress
+
+    def detach(self, sink) -> None:
+        self._sinks.remove(sink)
+        if not self._sinks:
+            self.enabled = False
+
+    @property
+    def sinks(self) -> tuple:
+        return tuple(self._sinks)
+
+    # -- suppression (setup noise like the L2 code pre-touch) ---------------
+
+    def suppress(self) -> None:
+        """Temporarily mute emission (nestable); see :meth:`unsuppress`."""
+        self._suppress += 1
+        self.enabled = False
+
+    def unsuppress(self) -> None:
+        self._suppress -= 1
+        if self._suppress == 0 and self._sinks:
+            self.enabled = True
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        for sink in self._sinks:
+            sink.on_event(event)
+
+
+#: A shared, permanently-disabled bus for components constructed outside
+#: a :class:`~repro.timing.machine.Machine` (unit tests poking at a
+#: :class:`~repro.timing.caches.Cache` directly, say).  Never attach
+#: sinks to it.
+NULL_BUS = EventBus()
+
+
+class EventLog:
+    """A bounded in-memory sink: collects events for exporters.
+
+    ``kinds`` restricts collection to a subset of event kinds (None
+    collects everything).  When ``max_events`` is reached the log stops
+    recording and flags itself ``truncated``.
+    """
+
+    def __init__(self, max_events: int = 1_000_000,
+                 kinds: Optional[frozenset] = None,
+                 start_cycle: int = 0) -> None:
+        self.max_events = max_events
+        self.kinds = kinds
+        self.start_cycle = start_cycle
+        self.events: List[Event] = []
+        self.truncated = False
+
+    def on_event(self, event: Event) -> None:
+        if self.truncated or event.cycle < self.start_cycle:
+            return
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        self.events.append(event)
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]

@@ -1,0 +1,207 @@
+"""Metrics registry: named counters and histograms fed by the event bus.
+
+This supersedes the ad-hoc "add another int field to a stats dataclass"
+pattern for *derived* observability data while keeping
+:class:`~repro.timing.stats.RunResult` backward-compatible: the raw
+per-unit dataclasses stay (cheap, always-on), and the registry holds the
+richer distributions that are only worth collecting when a run is
+traced:
+
+* ``vl`` -- the dynamic vector-length distribution (the short-vector
+  waste of Figures 1 and 4 is a direct function of this histogram);
+* ``stall_cycles`` -- lost cycles keyed by ``unit/reason`` (the
+  stall-attribution report's input);
+* ``l2_bank_conflict_timeline`` -- bank-conflict cycles bucketed over
+  simulated time (bursts line up with strided vector phases);
+* per-unit issue/commit counters that cross-check the always-on stats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .events import (BANK_CONFLICT, BARRIER_RELEASE, CACHE_MISS, COMMIT,
+                     ISSUE, LANE_ISSUE, STALL, VISSUE, VLCFG, Event)
+
+
+class Counter:
+    """A named monotonically-increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Histogram:
+    """A named integer-valued histogram (exact, sparse buckets).
+
+    Buckets are the observed values themselves; ``observe(v, weight)``
+    adds ``weight`` to bucket ``v``.  Exact buckets are the right choice
+    here: VLs are small ints, stall durations are cycle counts, and the
+    exporters want faithful distributions, not quantile sketches.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: int, weight: int = 1) -> None:
+        self.buckets[value] = self.buckets.get(value, 0) + weight
+        self.count += weight
+        self.total += value * weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Exact percentile (0..100) over observed values."""
+        if not self.count:
+            return 0
+        target = p / 100.0 * self.count
+        seen = 0
+        for value in sorted(self.buckets):
+            seen += self.buckets[value]
+            if seen >= target:
+                return value
+        return max(self.buckets)
+
+    def items(self) -> List[Tuple[int, int]]:
+        return sorted(self.buckets.items())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.2f}>"
+
+
+class MetricsRegistry:
+    """Namespace of counters and histograms for one simulation run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def get(self, name: str) -> Optional[object]:
+        return self._counters.get(name) or self._histograms.get(name)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-compatible dump of everything in the registry."""
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                name: {"count": h.count, "total": h.total, "mean": h.mean,
+                       "buckets": {str(k): v for k, v in h.items()}}
+                for name, h in sorted(self._histograms.items())},
+        }
+
+
+class MetricsSink:
+    """Event-bus sink that folds the event stream into a registry.
+
+    Metric names (all deterministic, suitable for regression diffing):
+
+    * ``issued.scalar`` / ``issued.vector`` / ``issued.lane`` /
+      ``committed.scalar`` -- global instruction counters;
+    * ``issued.<unit>`` -- per-unit issue counters;
+    * ``vl`` -- vector-length histogram (one observation per vector
+      instruction issued);
+    * ``stall.<unit>.<reason>`` -- lost-cycle counters;
+    * ``stall_dur.<reason>`` -- stall-duration histogram per reason;
+    * ``cache_miss.<cache>`` -- tag-miss counters per cache instance;
+    * ``l2.bank_conflict_cycles`` -- total bank-conflict delay;
+    * ``l2_bank_conflict_timeline`` -- histogram keyed by
+      ``cycle // timeline_bucket`` whose weights are conflict cycles;
+    * ``barriers`` / ``vlcfg`` -- synchronisation counters.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 timeline_bucket: int = 1024) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.timeline_bucket = timeline_bucket
+        reg = self.registry
+        # pre-create the hot metrics so on_event stays dict-lookup cheap
+        self._issued_scalar = reg.counter("issued.scalar")
+        self._issued_vector = reg.counter("issued.vector")
+        self._issued_lane = reg.counter("issued.lane")
+        self._committed = reg.counter("committed.scalar")
+        self._vl = reg.histogram("vl")
+        self._conflict = reg.counter("l2.bank_conflict_cycles")
+        self._timeline = reg.histogram("l2_bank_conflict_timeline")
+        self._barriers = reg.counter("barriers")
+        self._vlcfg = reg.counter("vlcfg")
+
+    def on_event(self, ev: Event) -> None:
+        kind = ev.kind
+        reg = self.registry
+        if kind == ISSUE:
+            self._issued_scalar.inc()
+            reg.counter(f"issued.{ev.unit}").inc()
+        elif kind == VISSUE:
+            self._issued_vector.inc()
+            reg.counter(f"issued.{ev.unit}").inc()
+            self._vl.observe(ev.vl)
+        elif kind == LANE_ISSUE:
+            self._issued_lane.inc()
+            reg.counter(f"issued.{ev.unit}").inc()
+        elif kind == COMMIT:
+            self._committed.inc()
+        elif kind == STALL:
+            reason = ev.reason.value if ev.reason is not None else "unknown"
+            reg.counter(f"stall.{ev.unit}.{reason}").inc(ev.dur)
+            reg.histogram(f"stall_dur.{reason}").observe(ev.dur)
+        elif kind == CACHE_MISS:
+            reg.counter(f"cache_miss.{ev.arg}").inc()
+        elif kind == BANK_CONFLICT:
+            self._conflict.inc(ev.dur)
+            self._timeline.observe(ev.cycle // self.timeline_bucket, ev.dur)
+        elif kind == BARRIER_RELEASE:
+            self._barriers.inc()
+        elif kind == VLCFG:
+            self._vlcfg.inc()
+
+    # -- convenience views ---------------------------------------------------
+
+    def stall_breakdown(self) -> Dict[str, Dict[str, int]]:
+        """``unit -> reason -> lost cycles`` from the collected counters."""
+        out: Dict[str, Dict[str, int]] = {}
+        for name, value in self.registry.counters().items():
+            if not name.startswith("stall."):
+                continue
+            # unit names may contain dots (SU0.c1); reasons never do
+            unit, reason = name[len("stall."):].rsplit(".", 1)
+            out.setdefault(unit, {})[reason] = value
+        return out
+
+    def conflict_timeline(self) -> List[Tuple[int, int]]:
+        """``(bucket_start_cycle, conflict_cycles)`` pairs, sorted."""
+        h = self._timeline
+        return [(b * self.timeline_bucket, w) for b, w in h.items()]

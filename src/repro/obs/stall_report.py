@@ -1,0 +1,176 @@
+"""Top-down stall attribution: where did the datapath-cycles go?
+
+Figure 4 of the paper explains VLT's benefit by decomposing every
+arithmetic datapath-cycle into *busy* / *partly idle* / *stalled* /
+*all idle*.  This module produces the same decomposition as a top-down
+report:
+
+* **Level 0** -- total datapath-cycles (``arith_fus * lanes * cycles``);
+* **Level 1** -- the four Figure-4 buckets, reconciled *to the cycle*
+  against :class:`~repro.timing.stats.DatapathUtilization`;
+* **Level 2** -- the same buckets per lane partition (per thread under
+  static VLT), with an explicit residual row when dynamic
+  repartitioning retired accounting that no longer maps to a live
+  partition;
+* **Level 3** -- scalar-side lost-cycle attribution (fetch stalls, VIQ
+  backpressure, mispredicts) and, when the run was traced, the
+  per-reason stall breakdown from the metrics registry
+  (:class:`~repro.obs.events.StallReason` taxonomy).
+
+All numbers are exact integer cycle counts -- the report asserts its own
+books balance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..timing.stats import RunResult
+    from .metrics import MetricsRegistry
+
+_BUCKETS = ("busy", "partly_idle", "stalled", "all_idle")
+
+
+def stall_attribution(result: "RunResult",
+                      metrics: Optional["MetricsRegistry"] = None) -> dict:
+    """Machine-readable top-down decomposition of one run.
+
+    Returns a dict with ``totals`` (the Figure-4 buckets), ``fractions``,
+    ``partitions`` (per-partition rows + ``residual``), ``scalar_units``
+    and, when available, ``stall_reasons``.  Raises ``ValueError`` if
+    the per-partition rows fail to reconcile with the aggregate.
+    """
+    util = result.utilization
+    totals = {b: getattr(util, b) for b in _BUCKETS}
+    totals["total"] = util.total
+
+    partitions: List[dict] = []
+    sums = {b: 0 for b in _BUCKETS}
+    for i, pu in enumerate(result.partition_utilization):
+        row = {b: getattr(pu, b) for b in _BUCKETS}
+        row["partition"] = i
+        row["lanes"] = (result.partition_lanes[i]
+                        if i < len(result.partition_lanes) else None)
+        partitions.append(row)
+        for b in _BUCKETS:
+            sums[b] += row[b]
+
+    residual = {b: totals[b] - sums[b] for b in _BUCKETS}
+    if partitions:
+        # the books must balance: partitions + residual == aggregate
+        for b in _BUCKETS:
+            if sums[b] + residual[b] != totals[b]:  # pragma: no cover
+                raise ValueError(
+                    f"stall attribution does not reconcile for {b!r}: "
+                    f"{sums[b]} + {residual[b]} != {totals[b]}")
+
+    scalar_units: List[dict] = []
+    for i, s in enumerate(result.scalar_units):
+        scalar_units.append({
+            "unit": f"SU{i}",
+            "fetch_stall_cycles": s.fetch_stall_cycles,
+            "dispatch_stall_viq": s.dispatch_stall_viq,
+            "branch_mispredicts": s.branch_mispredicts,
+            "l1i_misses": s.l1i_misses,
+            "l1d_misses": s.l1d_misses,
+        })
+    lane_cores: List[dict] = []
+    for i, s in enumerate(result.lane_cores):
+        if not s.issued:
+            continue
+        lane_cores.append({
+            "unit": f"lane{i}",
+            "load_stall_cycles": s.load_stall_cycles,
+            "branch_mispredicts": s.branch_mispredicts,
+            "icache_misses": s.icache_misses,
+        })
+
+    out = {
+        "program": result.program_name,
+        "config": result.config_name,
+        "cycles": result.cycles,
+        "totals": totals,
+        "fractions": util.fractions(),
+        "partitions": partitions,
+        "residual": residual,
+        "scalar_units": scalar_units,
+        "lane_cores": lane_cores,
+        "l2_bank_conflict_cycles": result.l2_bank_conflict_cycles,
+    }
+
+    reg = metrics if metrics is not None else result.metrics
+    if reg is not None:
+        reasons: Dict[str, Dict[str, int]] = {}
+        for name, value in reg.counters().items():
+            if name.startswith("stall."):
+                # unit names may contain dots (SU0.c1); reasons never do
+                unit, reason = name[len("stall."):].rsplit(".", 1)
+                reasons.setdefault(unit, {})[reason] = value
+        out["stall_reasons"] = reasons
+    return out
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{part / whole:6.1%}" if whole else "   n/a"
+
+
+def render_stall_report(result: "RunResult",
+                        metrics: Optional["MetricsRegistry"] = None) -> str:
+    """Human-readable top-down stall-attribution report."""
+    attr = stall_attribution(result, metrics)
+    t = attr["totals"]
+    total = t["total"]
+    lines = [
+        f"stall attribution: {attr['program']} on {attr['config']} "
+        f"({result.num_threads} threads, {attr['cycles']} cycles)",
+        f"  datapath-cycles: {total}",
+    ]
+    for b in _BUCKETS:
+        lines.append(f"    {b.replace('_', '-'):<11} {t[b]:>14}  "
+                     f"{_pct(t[b], total)}")
+
+    if attr["partitions"]:
+        lines.append("  per partition:")
+        hdr = (f"    {'part':<6}{'lanes':>5}" +
+               "".join(f"{b.replace('_', '-'):>14}" for b in _BUCKETS))
+        lines.append(hdr)
+        for row in attr["partitions"]:
+            lines.append(
+                f"    p{row['partition']:<5}{row['lanes'] or 0:>5}" +
+                "".join(f"{row[b]:>14}" for b in _BUCKETS))
+        res = attr["residual"]
+        if any(res[b] for b in _BUCKETS):
+            lines.append(
+                f"    {'resid.':<6}{'':>5}" +
+                "".join(f"{res[b]:>14}" for b in _BUCKETS) +
+                "   (pre-repartition accounting)")
+
+    if attr["scalar_units"]:
+        lines.append("  scalar-side lost cycles:")
+        for su in attr["scalar_units"]:
+            lines.append(
+                f"    {su['unit']}: fetch stalls {su['fetch_stall_cycles']}"
+                f", VIQ dispatch stalls {su['dispatch_stall_viq']}"
+                f", mispredicts {su['branch_mispredicts']}"
+                f", L1I misses {su['l1i_misses']}"
+                f", L1D misses {su['l1d_misses']}")
+    if attr["lane_cores"]:
+        lines.append("  lane-core lost cycles:")
+        for lc in attr["lane_cores"]:
+            lines.append(
+                f"    {lc['unit']}: operand stalls "
+                f"{lc['load_stall_cycles']}, mispredicts "
+                f"{lc['branch_mispredicts']}, I$ misses "
+                f"{lc['icache_misses']}")
+
+    reasons = attr.get("stall_reasons")
+    if reasons:
+        lines.append("  traced stall reasons (cycles lost, by unit):")
+        for unit in sorted(reasons):
+            parts = ", ".join(f"{r}={c}"
+                              for r, c in sorted(reasons[unit].items()))
+            lines.append(f"    {unit}: {parts}")
+    lines.append(
+        f"  L2 bank-conflict cycles: {attr['l2_bank_conflict_cycles']}")
+    return "\n".join(lines)

@@ -10,7 +10,8 @@ from .l2 import BankedL2, L2Stats
 from .lane_core import LaneCore
 from .machine import Machine, SimulationError, run_traces
 from .pipeview import PipeView, simulate_with_pipeview
-from .run import clear_trace_cache, simulate, trace_for
+from .run import (TracedRun, clear_trace_cache, simulate, simulate_traced,
+                  trace_for)
 from .scalar_unit import ScalarUnit
 from .stats import (DatapathUtilization, LaneCoreStats, RunResult,
                     ScalarUnitStats, VectorUnitStats)
@@ -24,7 +25,8 @@ __all__ = [
     "VectorUnitConfig", "base_config", "get_config",
     "BankedL2", "L2Stats", "LaneCore", "Machine", "SimulationError",
     "PipeView", "simulate_with_pipeview",
-    "run_traces", "clear_trace_cache", "simulate", "trace_for",
+    "run_traces", "clear_trace_cache", "simulate", "simulate_traced",
+    "TracedRun", "trace_for",
     "ScalarUnit", "DatapathUtilization", "LaneCoreStats", "RunResult",
     "ScalarUnitStats", "VectorUnitStats", "VectorUnit",
 ]

@@ -11,7 +11,9 @@ report writeback effects).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
+
+from ..obs.events import CACHE_MISS, Event, EventBus, NULL_BUS
 
 
 @dataclass
@@ -32,12 +34,16 @@ class Cache:
     """A single-level set-associative tag array with LRU replacement."""
 
     def __init__(self, size_bytes: int, assoc: int, line_bytes: int,
-                 name: str = "cache"):
+                 name: str = "cache", bus: Optional[EventBus] = None):
         if size_bytes % (assoc * line_bytes):
             raise ValueError(
                 f"{name}: size {size_bytes} not divisible by "
                 f"assoc*line = {assoc * line_bytes}")
         self.name = name
+        #: observability event bus; misses are emitted as ``CACHE_MISS``
+        #: events timestamped with ``bus.now`` (maintained by the
+        #: machine's main loop while tracing is enabled)
+        self.bus = bus if bus is not None else NULL_BUS
         self.line_bytes = line_bytes
         self.assoc = assoc
         self.num_sets = size_bytes // (assoc * line_bytes)
@@ -61,6 +67,10 @@ class Cache:
             ways.insert(0, tag)
             if len(ways) > self.assoc:
                 ways.pop()
+            bus = self.bus
+            if bus.enabled:
+                bus.emit(Event(bus.now, CACHE_MISS, self.name,
+                               arg=self.name))
             return False
         if pos:
             ways.insert(0, ways.pop(pos))

@@ -21,10 +21,11 @@ paper-described advantage over large-stride/indexed accesses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from ..obs.events import BANK_CONFLICT, Event, EventBus, NULL_BUS
 from .caches import Cache
 from .config import L2Config
 
@@ -40,9 +41,11 @@ class L2Stats:
 class BankedL2:
     """Shared multi-banked L2 with per-bank occupancy."""
 
-    def __init__(self, cfg: L2Config):
+    def __init__(self, cfg: L2Config, bus: Optional[EventBus] = None):
         self.cfg = cfg
-        self.tags = Cache(cfg.size_kib * 1024, cfg.assoc, cfg.line, name="L2")
+        self.bus = bus if bus is not None else NULL_BUS
+        self.tags = Cache(cfg.size_kib * 1024, cfg.assoc, cfg.line, name="L2",
+                          bus=self.bus)
         self.bank_free: List[int] = [0] * cfg.banks
         self.stats = L2Stats()
 
@@ -56,6 +59,9 @@ class BankedL2:
         self.bank_free[bank] = start + cfg.bank_busy
         self.stats.scalar_accesses += 1
         self.stats.bank_conflict_cycles += start - now
+        if start > now and self.bus.enabled:
+            self.bus.emit(Event(now, BANK_CONFLICT, f"L2.bank{bank}",
+                                dur=start - now, arg=bank))
         hit = self.tags.access(addr)
         return start + (cfg.hit_latency if hit else cfg.miss_latency)
 
@@ -84,12 +90,16 @@ class BankedL2:
             issue_times = now + (np.arange(lines.size) * elems_per_line
                                  ) // addrs_per_cycle
             done = now
+            bus = self.bus
             for i, ln in enumerate(lines):
                 t = int(issue_times[i])
                 bank = int(ln) % cfg.banks
                 start = max(t, self.bank_free[bank])
                 self.bank_free[bank] = start + cfg.bank_busy
                 self.stats.bank_conflict_cycles += start - t
+                if start > t and bus.enabled:
+                    bus.emit(Event(t, BANK_CONFLICT, f"L2.bank{bank}",
+                                   dur=start - t, arg=bank))
                 hit = self.tags.access(int(ln) * line)
                 fin = start + (cfg.hit_latency if hit else cfg.miss_latency)
                 if fin > done:
@@ -107,12 +117,16 @@ class BankedL2:
         addrs_list = addrs.tolist()
         banks_list = banks.tolist()
         times_list = issue_times.tolist()
+        bus = self.bus
         for i in range(n):
             b = banks_list[i]
             t = times_list[i]
             start = bank_free[b] if bank_free[b] > t else t
             bank_free[b] = start + busy
             self.stats.bank_conflict_cycles += start - t
+            if start > t and bus.enabled:
+                bus.emit(Event(t, BANK_CONFLICT, f"L2.bank{b}",
+                               dur=start - t, arg=b))
             fin = start + (hit_lat if tags_access(addrs_list[i]) else miss_lat)
             if fin > done:
                 done = fin

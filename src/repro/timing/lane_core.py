@@ -26,6 +26,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from ..functional.trace import DynOp
 from ..isa.registers import NUM_REG_UIDS
+from ..obs.events import Event, LANE_ISSUE, STALL, StallReason
 from .branch import BimodalPredictor
 from .caches import Cache
 from .config import LaneCoreConfig
@@ -47,9 +48,10 @@ class LaneCore:
         self.lane_idx = lane_idx
         self.cfg = cfg
         self.l2 = l2
+        self.obs = machine.obs
         self.stats = LaneCoreStats()
         self.icache = Cache(cfg.icache_kib * 1024, 1, cfg.icache_line,
-                            name=f"lane{lane_idx}-I$")
+                            name=f"lane{lane_idx}-I$", bus=self.obs)
         self.bpred = BimodalPredictor(cfg.bpred_entries)
         self.tid: Optional[int] = None
         self.trace: List[DynOp] = []
@@ -101,6 +103,12 @@ class LaneCore:
                     self.stall_until = self.l2.access(
                         iline * self.cfg.icache_line, cycle) \
                         + self.cfg.imiss_extra
+                    obs = self.obs
+                    if obs.enabled:
+                        obs.emit(Event(cycle, STALL,
+                                       f"lane{self.lane_idx}", dynop,
+                                       dur=self.stall_until - cycle,
+                                       reason=StallReason.LANE_IMISS))
                     return
 
             if spec.is_vector:
@@ -134,6 +142,11 @@ class LaneCore:
             if ready > cycle:
                 self.stall_until = ready
                 self.stats.load_stall_cycles += ready - cycle
+                obs = self.obs
+                if obs.enabled:
+                    obs.emit(Event(cycle, STALL, f"lane{self.lane_idx}",
+                                   dynop, dur=ready - cycle,
+                                   reason=StallReason.OPERAND))
                 self._slip(cycle, mem_slots)
                 return
 
@@ -157,9 +170,10 @@ class LaneCore:
             if done > self.last_done:
                 self.last_done = done
             self.stats.issued += 1
-            hook = self.machine.hook
-            if hook is not None:
-                hook(cycle, f"lane{self.lane_idx}", "issue", dynop)
+            obs = self.obs
+            if obs.enabled:
+                obs.emit(Event(cycle, LANE_ISSUE, f"lane{self.lane_idx}",
+                               dynop, dur=done - cycle))
             self.idx += 1
             budget -= 1
 
@@ -168,6 +182,11 @@ class LaneCore:
                 if not correct:
                     self.stats.branch_mispredicts += 1
                     self.stall_until = done + self.cfg.mispredict_penalty
+                    if obs.enabled:
+                        obs.emit(Event(
+                            cycle, STALL, f"lane{self.lane_idx}", dynop,
+                            dur=self.stall_until - cycle,
+                            reason=StallReason.LANE_MISPREDICT))
                     return
 
     # ------------------------------------------------------------------
@@ -232,6 +251,11 @@ class LaneCore:
                         self.last_done = done
                     self.pre_issued.add(j)
                     self.stats.issued += 1
+                    obs = self.obs
+                    if obs.enabled:
+                        obs.emit(Event(cycle, LANE_ISSUE,
+                                       f"lane{self.lane_idx}", op,
+                                       dur=done - cycle, arg="slip"))
                     budget -= 1
                     continue
             written.update(op.writes)

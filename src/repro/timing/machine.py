@@ -18,6 +18,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..functional.trace import DynOp, ProgramTrace
+from ..obs.events import (BARRIER_ARRIVE, BARRIER_RELEASE, Event, EventBus,
+                          ISSUE, LANE_ISSUE, VISSUE, VLCFG)
 from .config import MachineConfig
 from .l2 import BankedL2
 from .lane_core import LaneCore
@@ -32,18 +34,39 @@ class SimulationError(Exception):
     """Raised when a run exceeds its cycle budget (likely a model bug)."""
 
 
+class _LegacyHookSink:
+    """Adapts the historic ``hook(cycle, unit, kind, dynop)`` callable to
+    the event bus; lane issues keep their legacy ``"issue"`` kind."""
+
+    _KIND = {ISSUE: "issue", VISSUE: "vissue", LANE_ISSUE: "issue"}
+
+    def __init__(self, hook) -> None:
+        self._hook = hook
+
+    def on_event(self, event: Event) -> None:
+        kind = self._KIND.get(event.kind)
+        if kind is not None:
+            self._hook(event.cycle, event.unit, kind, event.dynop)
+
+
 class Machine:
     """A configured machine replaying one multi-threaded program trace."""
 
     def __init__(self, cfg: MachineConfig, traces: List[List[DynOp]],
-                 max_cycles: int = 50_000_000, hook=None):
+                 max_cycles: int = 50_000_000, hook=None,
+                 obs: Optional[EventBus] = None):
         self.cfg = cfg
         self.num_threads = len(traces)
         self.max_cycles = max_cycles
-        #: optional event hook ``hook(cycle, unit, kind, dynop)`` --
-        #: see :mod:`repro.timing.pipeview`
+        #: observability event bus; a fresh disabled bus (the null-sink
+        #: fast path) unless the caller supplies one with sinks attached
+        self.obs = obs if obs is not None else EventBus()
+        #: legacy event hook ``hook(cycle, unit, kind, dynop)``, adapted
+        #: onto the event bus (see :mod:`repro.timing.pipeview`)
         self.hook = hook
-        self.l2 = BankedL2(cfg.l2)
+        if hook is not None:
+            self.obs.attach(_LegacyHookSink(hook))
+        self.l2 = BankedL2(cfg.l2, bus=self.obs)
         self.sus: List[ScalarUnit] = [
             ScalarUnit(self, i, su_cfg, self.l2)
             for i, su_cfg in enumerate(cfg.scalar_units)]
@@ -60,14 +83,20 @@ class Machine:
 
         # Code is loader-resident in the L2: pre-touch its lines so
         # I-cache refills cost an L2 hit, not a cold main-memory miss
-        # (the paper measures steady-state regions).
+        # (the paper measures steady-state regions).  Setup noise is
+        # suppressed on the event bus -- these are not simulated misses.
         max_pc = max((max(op.pc for op in t) if t else 0) for t in traces) \
             if traces else 0
         from .scalar_unit import CODE_BASE, INSTR_BYTES
         line = cfg.l2.line
-        for addr in range(CODE_BASE, CODE_BASE + (max_pc + 1) * INSTR_BYTES
-                          + line, line):
-            self.l2.tags.access(addr)
+        self.obs.suppress()
+        try:
+            for addr in range(CODE_BASE,
+                              CODE_BASE + (max_pc + 1) * INSTR_BYTES + line,
+                              line):
+                self.l2.tags.access(addr)
+        finally:
+            self.obs.unsuppress()
 
         if cfg.lane_scalar_mode:
             self.lane_cores = [
@@ -82,7 +111,7 @@ class Machine:
                 line = cfg.l2.line
                 self.vu = VectorUnit(
                     cfg.vu, self.l2, cfg.lane_partitions(self.num_threads),
-                    hook=hook,
+                    bus=self.obs,
                     invalidate=lambda addrs: self.l1d_invalidate_lines(
                         addrs, line))
             for tid, (u, _ctx) in enumerate(cfg.placement(self.num_threads)):
@@ -93,6 +122,10 @@ class Machine:
 
     def barrier_arrive(self, tid: int, time: int) -> None:
         self._barrier_arrived += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(Event(time, BARRIER_ARRIVE, f"t{tid}",
+                           arg=self.barrier_count))
         if time > self._barrier_latest:
             self._barrier_latest = time
         if self._barrier_arrived == self.num_threads:
@@ -101,6 +134,10 @@ class Machine:
             self._barrier_latest = 0
             self.barrier_count += 1
             self.barrier_release_cycles.append(release)
+            if obs.enabled:
+                obs.emit(Event(time, BARRIER_RELEASE, f"t{tid}",
+                               dur=max(0, release - time),
+                               arg=self.barrier_count - 1))
             for kind, unit, ctx in self._threads.values():
                 if kind == "su":
                     if ctx.waiting_barrier:
@@ -149,15 +186,31 @@ class Machine:
         if n == 0:
             n = self.num_threads
         self.vu.repartition(n, cycle)
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(Event(cycle, VLCFG, f"t{tid}", arg=n))
 
     # -- main loop ------------------------------------------------------------------
 
     def run(self) -> RunResult:
+        return self._result(self.run_loop())
+
+    def run_loop(self) -> int:
+        """Advance the machine to completion; returns the final cycle.
+
+        Split out from :meth:`run` so callers (host-side profiling, the
+        ``profile`` CLI verb) can time the replay loop separately from
+        result assembly.
+        """
         cycle = 0
         sus = self.sus
         vu = self.vu
         cores = self.lane_cores
+        obs = self.obs
+        obs_on = obs.enabled
         while True:
+            if obs_on:
+                obs.now = cycle
             vu_busy = vu is not None and vu.busy(cycle)
             for su in sus:
                 su.step(cycle)
@@ -200,13 +253,15 @@ class Machine:
                 raise SimulationError(
                     f"{self.cfg.name}: exceeded {self.max_cycles} cycles")
 
-        return self._result(cycle)
+        return cycle
 
     # -- result assembly ---------------------------------------------------------------
 
     def _result(self, cycles: int) -> RunResult:
         util = DatapathUtilization()
         vu_stats = None
+        part_utils: List[DatapathUtilization] = []
+        part_lanes: List[int] = []
         if self.vu is not None:
             vu_stats = self.vu.stats
             u = self.vu.util
@@ -214,6 +269,7 @@ class Machine:
             util = DatapathUtilization(
                 busy=u.busy, partly_idle=u.partly_idle, stalled=u.stalled,
                 all_idle=max(0, total - u.busy - u.partly_idle - u.stalled))
+            part_utils, part_lanes = self.vu.partition_utils(cycles)
         su_stats = []
         for su in self.sus:
             s = su.stats
@@ -238,14 +294,32 @@ class Machine:
             barrier_count=self.barrier_count,
             l2_bank_conflict_cycles=self.l2.stats.bank_conflict_cycles,
             phase_release_cycles=list(self.barrier_release_cycles),
+            partition_utilization=part_utils,
+            partition_lanes=part_lanes,
         )
 
 
 def run_traces(cfg: MachineConfig, trace: ProgramTrace,
-               max_cycles: int = 50_000_000) -> RunResult:
-    """Replay a functional :class:`ProgramTrace` on configuration ``cfg``."""
-    machine = Machine(cfg, [t.ops for t in trace.threads],
-                      max_cycles=max_cycles)
-    result = machine.run()
+               max_cycles: int = 50_000_000,
+               obs: Optional[EventBus] = None,
+               profiler=None) -> RunResult:
+    """Replay a functional :class:`ProgramTrace` on configuration ``cfg``.
+
+    ``obs`` attaches an observability event bus; ``profiler`` (a
+    :class:`repro.obs.hostprof.PhaseProfiler`) records host wall-time
+    for the ``setup`` / ``replay`` / ``stats`` simulation phases.
+    """
+    if profiler is None:
+        machine = Machine(cfg, [t.ops for t in trace.threads],
+                          max_cycles=max_cycles, obs=obs)
+        result = machine.run()
+    else:
+        with profiler.phase("setup"):
+            machine = Machine(cfg, [t.ops for t in trace.threads],
+                              max_cycles=max_cycles, obs=obs)
+        with profiler.phase("replay"):
+            cycle = machine.run_loop()
+        with profiler.phase("stats"):
+            result = machine._result(cycle)
     result.program_name = trace.program_name
     return result

@@ -1,10 +1,10 @@
 """Pipeline-event viewer: see what the machine issues, cycle by cycle.
 
-Attach a :class:`PipeView` to a simulation to record issue events from
-every unit (scalar-unit contexts, vector-unit partitions, lane cores)
-and render them as a chronological listing or a per-unit occupancy
-strip -- handy for debugging kernels and for teaching what the timing
-model does::
+:class:`PipeView` is one consumer of the observability event bus
+(:mod:`repro.obs.events`): it subscribes to the instruction-issue event
+kinds and renders them as a chronological listing or a per-unit
+occupancy strip -- handy for debugging kernels and for teaching what the
+timing model does::
 
     from repro.timing.pipeview import PipeView, simulate_with_pipeview
 
@@ -12,6 +12,10 @@ model does::
                                           max_events=200)
     print(view.listing())
     print(view.strip(width=64))
+
+For richer consumers (Chrome/Perfetto traces, metrics, stall
+attribution) attach the sinks in :mod:`repro.obs` to the same bus --
+see :func:`repro.timing.run.simulate_traced`.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..functional.trace import DynOp
 from ..isa.program import Program
+from ..obs.events import Event, EventBus, ISSUE, LANE_ISSUE, VISSUE
 from .config import MachineConfig
 from .machine import Machine
 from .run import trace_for
@@ -38,7 +43,16 @@ class PipeEvent:
 
 
 class PipeView:
-    """Bounded collector of pipeline issue events."""
+    """Bounded collector of pipeline issue events (an event-bus sink).
+
+    Attach it to an :class:`~repro.obs.events.EventBus` (what
+    :func:`simulate_with_pipeview` does), or pass it as the legacy
+    ``hook=`` argument of :class:`~repro.timing.machine.Machine` --
+    both feed the same collector.
+    """
+
+    #: legacy kind labels, kept stable for renderings and callers
+    _KIND = {ISSUE: "issue", VISSUE: "vissue", LANE_ISSUE: "issue"}
 
     def __init__(self, max_events: int = 1000,
                  start_cycle: int = 0):
@@ -47,7 +61,13 @@ class PipeView:
         self.events: List[PipeEvent] = []
         self._full = False
 
-    # the Machine hook signature
+    # event-bus sink interface
+    def on_event(self, event: Event) -> None:
+        kind = self._KIND.get(event.kind)
+        if kind is not None:
+            self(event.cycle, event.unit, kind, event.dynop)
+
+    # the legacy Machine hook signature
     def __call__(self, cycle: int, unit: str, kind: str,
                  dynop: DynOp) -> None:
         if self._full or cycle < self.start_cycle:
@@ -114,9 +134,11 @@ def simulate_with_pipeview(
         max_cycles: int = 50_000_000) -> Tuple[PipeView, RunResult]:
     """Run a simulation with an attached :class:`PipeView`."""
     view = PipeView(max_events=max_events, start_cycle=start_cycle)
+    bus = EventBus()
+    bus.attach(view)
     trace = trace_for(program, num_threads)
     machine = Machine(cfg, [t.ops for t in trace.threads],
-                      max_cycles=max_cycles, hook=view)
+                      max_cycles=max_cycles, obs=bus)
     result = machine.run()
     result.program_name = trace.program_name
     return view, result

@@ -15,11 +15,15 @@ the same trace against many machine configurations.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..functional.executor import Executor
 from ..functional.trace import ProgramTrace
 from ..isa.program import Program
+from ..obs.events import EventBus, EventLog
+from ..obs.hostprof import PhaseProfiler
+from ..obs.metrics import MetricsRegistry, MetricsSink
 from .config import MachineConfig
 from .machine import run_traces
 from .stats import RunResult
@@ -28,7 +32,8 @@ _trace_cache: Dict[Tuple[int, int], ProgramTrace] = {}
 
 
 def trace_for(program: Program, num_threads: int,
-              max_ops: int = 20_000_000) -> ProgramTrace:
+              max_ops: int = 20_000_000,
+              profiler: Optional[PhaseProfiler] = None) -> ProgramTrace:
     """Functional trace of ``program`` with ``num_threads`` (memoised).
 
     The cache key is the program object's identity -- workload builders
@@ -41,7 +46,11 @@ def trace_for(program: Program, num_threads: int,
         return cached
     ex = Executor(program, num_threads=num_threads, record_trace=True,
                   max_ops=max_ops)
-    trace = ex.run()
+    if profiler is None:
+        trace = ex.run()
+    else:
+        with profiler.phase("trace_generation"):
+            trace = ex.run()
     _trace_cache[key] = trace
     return trace
 
@@ -53,10 +62,59 @@ def clear_trace_cache() -> None:
 
 def simulate(program: Program, cfg: MachineConfig, num_threads: int = 1,
              max_cycles: int = 50_000_000,
-             trace: Optional[ProgramTrace] = None) -> RunResult:
-    """Run ``program`` on machine ``cfg`` and return timing results."""
+             trace: Optional[ProgramTrace] = None,
+             obs: Optional[EventBus] = None,
+             profiler: Optional[PhaseProfiler] = None) -> RunResult:
+    """Run ``program`` on machine ``cfg`` and return timing results.
+
+    ``obs`` attaches an observability event bus (see :mod:`repro.obs`);
+    ``profiler`` records host-side wall time per simulation phase.
+    Neither affects simulated cycle counts.
+    """
     if trace is None:
-        trace = trace_for(program, num_threads)
+        trace = trace_for(program, num_threads, profiler=profiler)
     elif trace.num_threads != num_threads:
         raise ValueError("supplied trace has a different thread count")
-    return run_traces(cfg, trace, max_cycles=max_cycles)
+    return run_traces(cfg, trace, max_cycles=max_cycles, obs=obs,
+                      profiler=profiler)
+
+
+@dataclass
+class TracedRun:
+    """Everything a fully-instrumented simulation run produces."""
+
+    result: RunResult
+    events: EventLog
+    metrics: MetricsRegistry
+    metrics_sink: MetricsSink
+    profiler: PhaseProfiler
+
+
+def simulate_traced(program: Program, cfg: MachineConfig,
+                    num_threads: int = 1,
+                    max_cycles: int = 50_000_000,
+                    trace: Optional[ProgramTrace] = None,
+                    max_events: int = 1_000_000,
+                    kinds: Optional[frozenset] = None,
+                    start_cycle: int = 0) -> TracedRun:
+    """Run with the full observability stack attached.
+
+    Wires an :class:`EventLog` (for exporters), a :class:`MetricsSink`
+    (VL distribution, stall breakdown, bank-conflict timeline) and a
+    :class:`PhaseProfiler` onto one event bus, runs the simulation, and
+    returns a :class:`TracedRun`.  ``result.metrics`` is populated with
+    the collected registry.
+    """
+    bus = EventBus()
+    log = EventLog(max_events=max_events, kinds=kinds,
+                   start_cycle=start_cycle)
+    sink = MetricsSink()
+    bus.attach(log)
+    bus.attach(sink)
+    prof = PhaseProfiler()
+    result = simulate(program, cfg, num_threads=num_threads,
+                      max_cycles=max_cycles, trace=trace, obs=bus,
+                      profiler=prof)
+    result.metrics = sink.registry
+    return TracedRun(result=result, events=log, metrics=sink.registry,
+                     metrics_sink=sink, profiler=prof)

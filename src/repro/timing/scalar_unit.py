@@ -37,6 +37,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from ..functional.trace import DynOp
 from ..isa.registers import NUM_REG_UIDS, uid_is_scalar
+from ..obs.events import COMMIT, Event, ISSUE, STALL, StallReason
 from .branch import BimodalPredictor
 from .caches import Cache
 from .config import ScalarUnitConfig
@@ -149,11 +150,12 @@ class ScalarUnit:
         self.index = index
         self.cfg = cfg
         self.l2 = l2
+        self.obs = machine.obs
         self.stats = ScalarUnitStats()
         self.l1i = Cache(cfg.l1i_kib * 1024, cfg.l1_assoc, cfg.l1_line,
-                         name=f"SU{index}-L1I")
+                         name=f"SU{index}-L1I", bus=self.obs)
         self.l1d = Cache(cfg.l1d_kib * 1024, cfg.l1_assoc, cfg.l1_line,
-                         name=f"SU{index}-L1D")
+                         name=f"SU{index}-L1D", bus=self.obs)
         self.bpred = BimodalPredictor(cfg.bpred_entries)
         self.contexts: List[Context] = []
         #: total in-flight entries across contexts (the shared ROB --
@@ -197,6 +199,8 @@ class ScalarUnit:
             return
         start = self._commit_rr
         self._commit_rr = (start + 1) % nctx
+        obs = self.obs
+        obs_on = obs.enabled
         for k in range(nctx):
             ctx = self.contexts[(start + k) % nctx]
             rob = ctx.rob
@@ -208,6 +212,10 @@ class ScalarUnit:
                 self.rob_occupancy -= 1
                 self.stats.committed += 1
                 budget -= 1
+                if obs_on:
+                    obs.emit(Event(cycle, COMMIT,
+                                   f"SU{self.index}.c{ctx.ctx_idx}",
+                                   head.dynop))
             if budget == 0:
                 return
 
@@ -274,16 +282,22 @@ class ScalarUnit:
             done = cycle + spec.latency
         entry.done_time = done
         entry.announce(done)
-        hook = self.machine.hook
-        if hook is not None:
-            hook(cycle, f"SU{self.index}.c{entry.ctx.ctx_idx}", "issue",
-                 dynop)
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(Event(cycle, ISSUE,
+                           f"SU{self.index}.c{entry.ctx.ctx_idx}", dynop,
+                           dur=done - cycle))
         if entry.mispredicted:
             ctx = entry.ctx
             ctx.fetch_stalled_until = max(ctx.fetch_stalled_until,
                                           done + self.cfg.mispredict_penalty)
             self.stats.fetch_stall_cycles += \
                 max(0, ctx.fetch_stalled_until - cycle)
+            if obs.enabled and ctx.fetch_stalled_until > cycle:
+                obs.emit(Event(
+                    cycle, STALL, f"SU{self.index}.c{ctx.ctx_idx}", dynop,
+                    dur=ctx.fetch_stalled_until - cycle,
+                    reason=StallReason.BRANCH_MISPREDICT))
             if ctx.blocked_on_branch is entry:
                 ctx.blocked_on_branch = None
 
@@ -318,6 +332,13 @@ class ScalarUnit:
                         iline * self.cfg.l1_line, cycle)
                     self.stats.fetch_stall_cycles += \
                         ctx.fetch_stalled_until - cycle
+                    obs = self.obs
+                    if obs.enabled:
+                        obs.emit(Event(
+                            cycle, STALL,
+                            f"SU{self.index}.c{ctx.ctx_idx}", dynop,
+                            dur=ctx.fetch_stalled_until - cycle,
+                            reason=StallReason.L1I_MISS))
                     return budget
 
             if spec.is_barrier or spec.is_halt:

@@ -15,7 +15,10 @@ the paper exactly.  There are ``arith_fus * lanes`` arithmetic datapaths
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -32,11 +35,28 @@ class DatapathUtilization:
         return self.busy + self.partly_idle + self.stalled + self.all_idle
 
     def fractions(self) -> Dict[str, float]:
-        t = self.total or 1
+        """Bucket shares of all datapath-cycles.
+
+        An empty accounting (``total == 0`` -- a run with no vector work
+        at all, or a unit that never stepped) has no meaningful
+        fractions; returning all-zeros here used to silently satisfy
+        "sums to ~0" checks downstream.  An empty dict is returned
+        instead so callers must handle the empty-run case explicitly.
+        """
+        t = self.total
+        if t == 0:
+            return {}
         return {"busy": self.busy / t, "partly_idle": self.partly_idle / t,
                 "stalled": self.stalled / t, "all_idle": self.all_idle / t}
 
     def merged(self, other: "DatapathUtilization") -> "DatapathUtilization":
+        """Bucket-wise sum.
+
+        Invariants preserved: ``merged(x).total == self.total + x.total``
+        and merging an empty accounting is the identity, so an
+        empty-merged-with-empty result still reports ``fractions() ==
+        {}`` rather than fabricating a breakdown.
+        """
         return DatapathUtilization(
             busy=self.busy + other.busy,
             partly_idle=self.partly_idle + other.partly_idle,
@@ -95,6 +115,17 @@ class RunResult:
     #: cycle of each barrier release -- phase boundaries for the
     #: opportunity metric (Table 4)
     phase_release_cycles: List[int] = field(default_factory=list)
+    #: per-partition datapath accounting (same buckets as
+    #: :attr:`utilization`; bucket-wise they sum to it exactly, modulo a
+    #: residual from dynamic repartitioning that the stall-attribution
+    #: report surfaces explicitly).  Populated for vector-unit runs.
+    partition_utilization: List[DatapathUtilization] = \
+        field(default_factory=list)
+    #: lanes per partition, parallel to :attr:`partition_utilization`
+    partition_lanes: List[int] = field(default_factory=list)
+    #: observability metrics registry (only populated when the run was
+    #: traced, e.g. via :func:`repro.timing.run.simulate_traced`)
+    metrics: Optional["MetricsRegistry"] = None
 
     def phase_durations(self) -> List[int]:
         """Cycle count of each barrier-delimited phase (last phase ends
@@ -116,12 +147,20 @@ class RunResult:
             lines.append(
                 f"  vector: {vu.issued} instrs, {vu.element_ops} element ops")
             fr = self.utilization.fractions()
-            lines.append(
-                "  datapaths: busy {busy:.1%}, partly-idle {partly_idle:.1%}, "
-                "stalled {stalled:.1%}, all-idle {all_idle:.1%}".format(**fr))
+            if fr:
+                lines.append(
+                    "  datapaths: busy {busy:.1%}, partly-idle "
+                    "{partly_idle:.1%}, stalled {stalled:.1%}, all-idle "
+                    "{all_idle:.1%}".format(**fr))
         for i, s in enumerate(self.scalar_units):
             lines.append(f"  SU{i}: fetched {s.fetched}, issued {s.issued}")
         for i, s in enumerate(self.lane_cores):
             if s.issued:
-                lines.append(f"  lane{i}: issued {s.issued}")
+                miss = (s.icache_misses / s.icache_accesses
+                        if s.icache_accesses else 0.0)
+                lines.append(
+                    f"  lane{i}: issued {s.issued}, I$ misses "
+                    f"{s.icache_misses}/{s.icache_accesses} ({miss:.1%})")
+        lines.append(
+            f"  L2 bank-conflict cycles: {self.l2_bank_conflict_cycles}")
         return "\n".join(lines)

@@ -43,6 +43,8 @@ import numpy as np
 
 from ..functional.trace import DynOp
 from ..isa.registers import V_BASE, uid_is_scalar
+from ..obs.events import (Event, EventBus, NULL_BUS, STALL, VISSUE,
+                          StallReason)
 from .config import VectorUnitConfig
 from .l2 import BankedL2
 from .stats import DatapathUtilization, VectorUnitStats
@@ -106,7 +108,7 @@ class Partition:
 
     __slots__ = ("idx", "k", "viq_capacity", "reserved", "arrivals", "viq",
                  "last_writer", "fus", "ports", "last_completion",
-                 "rename_budget", "rename_pending")
+                 "rename_budget", "rename_pending", "util")
 
     def __init__(self, idx: int, k: int, viq_capacity: int,
                  arith_fus: int, mem_ports: int, rename_budget: int = 32):
@@ -126,6 +128,9 @@ class Partition:
         #: vector-register writer holds one from dispatch to completion.
         self.rename_budget = rename_budget
         self.rename_pending: list = []   # heap of completion times
+        #: per-partition datapath accounting (Figure 4 buckets); summed
+        #: across partitions it is exactly the vector unit's utilization
+        self.util = DatapathUtilization()
 
     def rename_in_use(self, cycle: int) -> int:
         """Physical registers currently held by in-flight writers."""
@@ -153,19 +158,34 @@ class VectorUnit:
     """The whole vector unit: VCL + lanes, partitioned for VLT."""
 
     def __init__(self, cfg: VectorUnitConfig, l2: BankedL2,
-                 lane_split: List[int], hook=None, invalidate=None):
+                 lane_split: List[int], bus: Optional[EventBus] = None,
+                 invalidate=None):
         self.cfg = cfg
         self.l2 = l2
-        self.hook = hook
+        self.obs = bus if bus is not None else NULL_BUS
         #: optional coherence callback for vector stores (addrs array)
         self._invalidate = invalidate
         self.stats = VectorUnitStats()
-        self.util = DatapathUtilization()
+        #: utilization folded from partitions retired by repartition()
+        self._folded_util = DatapathUtilization()
         self.partitions: List[Partition] = []
         self._build_partitions(lane_split)
         self._seq = 0
         self._rr = 0
         self.last_completion = 0
+
+    @property
+    def util(self) -> DatapathUtilization:
+        """Aggregate datapath accounting (Figure 4): the bucket-wise sum
+        of every partition -- current and repartitioned-away."""
+        u = self._folded_util
+        if self.cfg.vu_smt:
+            # shared-FU accounting lands on partition 0 only
+            return u.merged(self.partitions[0].util) if self.partitions \
+                else u
+        for part in self.partitions:
+            u = u.merged(part.util)
+        return u
 
     def _build_partitions(self, lane_split: List[int]) -> None:
         cfg = self.cfg
@@ -210,6 +230,15 @@ class VectorUnit:
             raise RuntimeError(
                 "vltcfg while vector work is in flight: reconfiguration "
                 "is only legal at quiesced region boundaries (Sec. 3.3)")
+        # fold the retiring partitions' datapath accounting so the
+        # aggregate (Figure 4) survives the reconfiguration
+        if self.cfg.vu_smt:
+            if self.partitions:
+                self._folded_util = \
+                    self._folded_util.merged(self.partitions[0].util)
+        else:
+            for part in self.partitions:
+                self._folded_util = self._folded_util.merged(part.util)
         self._build_partitions([lanes // num_parts] * num_parts)
         self._rr = 0
 
@@ -224,9 +253,17 @@ class VectorUnit:
         part = self.partitions[tid]
         if part.reserved >= part.viq_capacity:
             self.stats.viq_full_events += 1
+            obs = self.obs
+            if obs.enabled:
+                obs.emit(Event(cycle, STALL, f"VU.p{part.idx}", dur=1,
+                               reason=StallReason.VIQ_FULL))
             return False
         if part.rename_in_use(cycle) >= part.rename_budget:
             self.stats.viq_full_events += 1
+            obs = self.obs
+            if obs.enabled:
+                obs.emit(Event(cycle, STALL, f"VU.p{part.idx}", dur=1,
+                               reason=StallReason.VRENAME_FULL))
             return False
         return True
 
@@ -320,36 +357,42 @@ class VectorUnit:
                 i += 1
                 continue
             spec = ventry.dynop.spec
-            fu = self._free_unit(
-                part.ports if spec.pool == "vmem" else part.fus, cycle)
-            if fu is None:
+            is_mem = spec.pool == "vmem"
+            fu_idx = self._free_unit(
+                part.ports if is_mem else part.fus, cycle)
+            if fu_idx is None:
                 i += 1
                 continue
             viq.pop(i)
             part.reserved -= 1
-            self._execute(part, ventry, fu, cycle)
+            self._execute(part, ventry, fu_idx, cycle)
             budget -= 1
         return budget
 
     @staticmethod
-    def _free_unit(units: List[_FU], cycle: int) -> Optional[_FU]:
-        for u in units:
+    def _free_unit(units: List[_FU], cycle: int) -> Optional[int]:
+        for i, u in enumerate(units):
             if u.busy_until <= cycle:
-                return u
+                return i
         return None
 
-    def _execute(self, part: Partition, ventry: VEntry, fu: _FU,
+    def _execute(self, part: Partition, ventry: VEntry, fu_idx: int,
                  cycle: int) -> None:
         dynop = ventry.dynop
         spec = dynop.spec
+        is_mem = spec.pool == "vmem"
+        fu = (part.ports if is_mem else part.fus)[fu_idx]
         k = part.k
         vl = dynop.vl
         occ = max(1, -(-vl // k))
         ventry.issued = True
         self.stats.issued += 1
         self.stats.element_ops += vl
-        if self.hook is not None:
-            self.hook(cycle, f"VU.p{part.idx}", "vissue", dynop)
+        obs = self.obs
+        if obs.enabled:
+            label = f"port{fu_idx}" if is_mem else f"fu{fu_idx}"
+            obs.emit(Event(cycle, VISSUE, f"VU.p{part.idx}", dynop,
+                           dur=occ, arg=label))
 
         fu.busy_until = cycle + occ
         fu.start = cycle
@@ -401,10 +444,10 @@ class VectorUnit:
     # -- utilization accounting (Figure 4) ---------------------------------------
 
     def _account(self, cycle: int) -> None:
-        util = self.util
         if self.cfg.vu_smt:
             # shared FUs: account once, "pending" if any context has work
             part = self.partitions[0]
+            util = part.util
             pending = any(p.pending for p in self.partitions)
             k = part.k
             for fu in part.fus:
@@ -418,6 +461,7 @@ class VectorUnit:
                     util.stalled += k
             return
         for part in self.partitions:
+            util = part.util
             k = part.k
             pending = part.pending
             for fu in part.fus:
@@ -436,6 +480,34 @@ class VectorUnit:
                 elif pending:
                     util.stalled += k
                 # fully-idle datapath-cycles are derived at end of run
+
+    def partition_utils(self, cycles: int):
+        """Per-partition Figure-4 accounting with derived all-idle.
+
+        Returns ``(utils, lanes)`` where ``utils[i]`` is the
+        :class:`DatapathUtilization` of partition *i* (all-idle derived
+        against ``arith_fus * k * cycles``) and ``lanes[i]`` is its lane
+        count.  For an SMT vector unit the FUs are shared, so a single
+        row covering all lanes is returned.  Partitions retired by a
+        dynamic repartition are not included; their cycles appear only
+        in the aggregate :attr:`util` (the stall-attribution report
+        shows the difference as an explicit residual row).
+        """
+        fus = self.cfg.arith_fus
+        if self.cfg.vu_smt:
+            parts = self.partitions[:1]
+        else:
+            parts = self.partitions
+        utils: List[DatapathUtilization] = []
+        lanes: List[int] = []
+        for part in parts:
+            u = part.util
+            total = fus * part.k * cycles
+            utils.append(DatapathUtilization(
+                busy=u.busy, partly_idle=u.partly_idle, stalled=u.stalled,
+                all_idle=max(0, total - u.busy - u.partly_idle - u.stalled)))
+            lanes.append(part.k)
+        return utils, lanes
 
     # -- idle detection -----------------------------------------------------------
 

@@ -92,6 +92,35 @@ class TestCli:
         assert "trfd" in out and "mxm" not in out
 
 
+class TestObservabilityCli:
+    def test_trace_verb_writes_chrome_json(self, tmp_path, capsys):
+        import json
+        from repro.harness.cli import main
+        out = tmp_path / "trace.json"
+        assert main(["trace", "sage", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "stall attribution" in text
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["app"] == "sage"
+
+    def test_profile_verb(self, tmp_path, capsys):
+        import json
+        from repro.harness.cli import main
+        jpath = tmp_path / "prof.json"
+        assert main(["profile", "sage", "--json", str(jpath)]) == 0
+        text = capsys.readouterr().out
+        assert "host-side phase profile" in text and "replay" in text
+        payload = json.loads(jpath.read_text())
+        assert payload["app"] == "sage"
+        assert "replay" in payload["phases"]
+
+    def test_determinism_verb(self, capsys):
+        from repro.harness.cli import main
+        assert main(["determinism", "sage"]) == 0
+        assert "determinism OK" in capsys.readouterr().out
+
+
 class TestRenderHelpers:
     def test_bar_scaling(self):
         assert R.bar(0, 10) == ""

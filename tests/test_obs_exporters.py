@@ -1,0 +1,207 @@
+"""Metrics registry, exporters and host-side profiling."""
+
+import json
+
+import pytest
+
+from repro.isa import assemble
+from repro.obs import (BANK_CONFLICT, CACHE_MISS, COMMIT, Event, Histogram,
+                       ISSUE, MetricsRegistry, MetricsSink, PhaseProfiler,
+                       STALL, StallReason, VISSUE, render_stall_report,
+                       stall_attribution, to_chrome_trace, write_chrome_trace)
+from repro.timing import simulate_traced
+from repro.timing.config import BASE, V2_CMP
+
+_VEC_SRC = """
+.space x 2048
+li s1, 16
+setvl s2, s1
+li s3, &x
+li s4, 0
+li s5, 4
+loop:
+vld v1, 0(s3)
+vfadd.vv v2, v1, v1
+vfmul.vs v3, v2, f1
+vst v3, 0(s3)
+addi s4, s4, 1
+blt s4, s5, loop
+halt
+"""
+
+
+def _dyn(op="add", pc=0, vl=0):
+    from repro.functional.trace import DynOp
+    from repro.isa import spec
+    return DynOp(pc, op, spec(op), (), (), vl=vl)
+
+
+class TestHistogram:
+    def test_observe_and_moments(self):
+        h = Histogram("vl")
+        for v, w in ((4, 2), (8, 1), (16, 1)):
+            h.observe(v, w)
+        assert h.count == 4
+        assert h.total == 4 * 2 + 8 + 16
+        assert h.mean == pytest.approx(8.0)
+        assert h.items() == [(4, 2), (8, 1), (16, 1)]
+
+    def test_percentiles(self):
+        h = Histogram("d")
+        for v in (1, 2, 3, 4):
+            h.observe(v)
+        assert h.percentile(50) == 2
+        assert h.percentile(100) == 4
+        assert Histogram("empty").percentile(50) == 0
+
+
+class TestMetricsSink:
+    def test_folds_synthetic_events(self):
+        sink = MetricsSink(timeline_bucket=100)
+        sink.on_event(Event(1, ISSUE, "SU0.c0", _dyn()))
+        sink.on_event(Event(2, VISSUE, "VU.p0", _dyn("vadd.vv", vl=8)))
+        sink.on_event(Event(3, COMMIT, "SU0.c0", _dyn()))
+        sink.on_event(Event(4, STALL, "SU0.c0", dur=7,
+                            reason=StallReason.L1I_MISS))
+        sink.on_event(Event(5, CACHE_MISS, "SU0.L1D", arg="SU0.L1D"))
+        sink.on_event(Event(250, BANK_CONFLICT, "L2.b3", dur=2, arg=3))
+        c = sink.registry.counters()
+        assert c["issued.scalar"] == 1
+        assert c["issued.vector"] == 1
+        assert c["issued.SU0.c0"] == 1
+        assert c["committed.scalar"] == 1
+        assert c["stall.SU0.c0.l1i_miss"] == 7
+        assert c["cache_miss.SU0.L1D"] == 1
+        assert c["l2.bank_conflict_cycles"] == 2
+        assert sink.registry.histogram("vl").items() == [(8, 1)]
+        assert sink.conflict_timeline() == [(200, 2)]
+
+    def test_stall_breakdown_handles_dotted_units(self):
+        sink = MetricsSink()
+        sink.on_event(Event(0, STALL, "SU0.c1", dur=3,
+                            reason=StallReason.BRANCH_MISPREDICT))
+        sink.on_event(Event(0, STALL, "SU0.c1", dur=2,
+                            reason=StallReason.L1I_MISS))
+        bd = sink.stall_breakdown()
+        assert bd == {"SU0.c1": {"branch_mispredict": 3, "l1i_miss": 2}}
+
+    def test_registry_as_dict_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        reg.histogram("h").observe(3)
+        json.dumps(reg.as_dict())  # must not raise
+
+
+class TestChromeTrace:
+    def test_real_run_exports_valid_json(self, tmp_path):
+        prog = assemble(_VEC_SRC)
+        tr = simulate_traced(prog, BASE)
+        out = tmp_path / "trace.json"
+        n = write_chrome_trace(str(out), tr.events.events,
+                               metadata={"app": "unit"})
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"]["app"] == "unit"
+        records = [r for r in doc["traceEvents"] if r["ph"] != "M"]
+        assert len(records) == n > 0
+
+    def test_record_shapes(self):
+        prog = assemble(_VEC_SRC)
+        tr = simulate_traced(prog, BASE)
+        doc = to_chrome_trace(tr.events.events)
+        by_ph = {}
+        for r in doc["traceEvents"]:
+            by_ph.setdefault(r["ph"], []).append(r)
+        # named-thread metadata covers every tid used by records
+        named = {r["tid"] for r in by_ph["M"] if r["name"] == "thread_name"}
+        used = {r["tid"] for ph in ("X", "i") for r in by_ph.get(ph, [])}
+        assert used <= named
+        for r in by_ph["X"]:
+            assert r["dur"] >= 1 and r["ts"] >= 0
+        # vector issues land on per-FU rows with vl recorded
+        vx = [r for r in by_ph["X"] if r["cat"] == "vissue"]
+        assert vx and all(r["args"]["vl"] == 16 for r in vx)
+
+
+class TestStallAttribution:
+    @pytest.mark.parametrize("cfg,threads", [(BASE, 1), (V2_CMP, 2)])
+    def test_reconciles_to_the_cycle(self, cfg, threads):
+        prog = assemble(_VEC_SRC)
+        tr = simulate_traced(prog, cfg, num_threads=threads)
+        attr = stall_attribution(tr.result)
+        util = tr.result.utilization
+        assert attr["totals"]["busy"] == util.busy
+        assert attr["totals"]["total"] == util.total
+        # partition rows + residual == aggregate, bucket by bucket
+        for b in ("busy", "partly_idle", "stalled", "all_idle"):
+            part_sum = sum(row[b] for row in attr["partitions"])
+            assert part_sum + attr["residual"][b] == attr["totals"][b]
+        assert len(attr["partitions"]) == threads
+
+    def test_report_renders_with_metrics(self):
+        prog = assemble(_VEC_SRC)
+        tr = simulate_traced(prog, BASE)
+        text = render_stall_report(tr.result)
+        assert "stall attribution" in text
+        assert "datapath-cycles" in text
+        assert "busy" in text
+        # metrics came along on result.metrics -> traced reasons section
+        assert tr.result.metrics is tr.metrics
+
+    def test_attribution_without_metrics(self):
+        prog = assemble(_VEC_SRC)
+        tr = simulate_traced(prog, BASE)
+        tr.result.metrics = None
+        attr = stall_attribution(tr.result)
+        assert "stall_reasons" not in attr
+
+
+class TestPhaseProfiler:
+    def test_phases_accumulate(self):
+        prof = PhaseProfiler()
+        with prof.phase("a"):
+            pass
+        with prof.phase("a"):
+            pass
+        with prof.phase("b"):
+            pass
+        d = prof.as_dict()
+        assert list(d) == ["a", "b"]
+        assert d["a"]["calls"] == 2 and d["b"]["calls"] == 1
+        assert prof.total_wall_s >= 0.0
+
+    def test_merge(self):
+        a, b = PhaseProfiler(), PhaseProfiler()
+        with a.phase("x"):
+            pass
+        with b.phase("x"):
+            pass
+        with b.phase("y"):
+            pass
+        a.merge(b)
+        assert a.phases["x"].calls == 2
+        assert a.phases["y"].calls == 1
+
+    def test_report_text(self):
+        prof = PhaseProfiler()
+        assert "no phases" in prof.report()
+        with prof.phase("replay"):
+            pass
+        assert "replay" in prof.report()
+
+
+class TestSimulateTraced:
+    def test_wiring(self):
+        prog = assemble(_VEC_SRC)
+        tr = simulate_traced(prog, BASE)
+        assert tr.result.metrics is tr.metrics
+        assert len(tr.events) > 0 and not tr.events.truncated
+        phases = tr.profiler.as_dict()
+        assert {"setup", "replay", "stats"} <= set(phases)
+
+    def test_event_cap_flags_truncation(self):
+        prog = assemble(_VEC_SRC)
+        tr = simulate_traced(prog, BASE, max_events=10)
+        assert len(tr.events) == 10 and tr.events.truncated
+        # metrics keep counting past the log cap
+        assert tr.metrics.counters()["issued.scalar"] > 0

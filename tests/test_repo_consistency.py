@@ -12,7 +12,7 @@ class TestDeliverables:
     @pytest.mark.parametrize("rel", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "pyproject.toml",
         "docs/isa.md", "docs/timing-model.md", "docs/workloads.md",
-        "docs/assembly-tutorial.md",
+        "docs/assembly-tutorial.md", "docs/observability.md",
     ])
     def test_file_exists(self, rel):
         assert (ROOT / rel).is_file(), rel

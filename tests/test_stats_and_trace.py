@@ -17,9 +17,16 @@ class TestDatapathUtilization:
         assert f["busy"] == pytest.approx(0.10)
         assert sum(f.values()) == pytest.approx(1.0)
 
-    def test_empty_fractions_safe(self):
-        f = DatapathUtilization().fractions()
-        assert all(v == 0 for v in f.values())
+    def test_empty_fractions_explicit(self):
+        # an empty run has no denominator: the honest answer is "no
+        # fractions", not a row of zeros that sums to 0 instead of 1
+        assert DatapathUtilization().fractions() == {}
+
+    def test_nonempty_fractions_sum_to_one(self):
+        u = DatapathUtilization(busy=1)
+        f = u.fractions()
+        assert sum(f.values()) == pytest.approx(1.0)
+        assert set(f) == {"busy", "partly_idle", "stalled", "all_idle"}
 
     def test_merged(self):
         a = DatapathUtilization(busy=1, partly_idle=2, stalled=3, all_idle=4)
@@ -28,6 +35,14 @@ class TestDatapathUtilization:
         m = a.merged(b)
         assert (m.busy, m.partly_idle, m.stalled, m.all_idle) == \
             (11, 22, 33, 44)
+
+    def test_merged_empty_is_identity(self):
+        a = DatapathUtilization(busy=1, partly_idle=2, stalled=3, all_idle=4)
+        empty = DatapathUtilization()
+        assert a.merged(empty) == a
+        assert empty.merged(a) == a
+        assert empty.merged(empty).total == 0
+        assert empty.merged(empty).fractions() == {}
 
 
 class TestRunResultPhases:
