@@ -10,6 +10,7 @@ catch simulator-speed regressions.
 """
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -48,8 +49,11 @@ halt
 #: the natural occupancy of each machine (1 SW thread per HW context).
 _SWEEP = (("base", 1), ("V2-SMT", 2), ("V2-CMP", 2), ("V4-CMP", 4))
 
-_JSON_PATH = Path(__file__).resolve().parent.parent / \
-    "BENCH_simulator_speed.json"
+#: VLT_BENCH_JSON redirects the output (CI's bench-smoke job writes a
+#: candidate file and diffs it against the checked-in baseline).
+_JSON_PATH = Path(os.environ.get(
+    "VLT_BENCH_JSON",
+    Path(__file__).resolve().parent.parent / "BENCH_simulator_speed.json"))
 
 #: accumulated across the tests in this module, flushed by the
 #: module-scoped fixture below.

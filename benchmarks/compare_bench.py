@@ -1,0 +1,99 @@
+"""Compare two BENCH_simulator_speed.json files; fail on regression.
+
+CI's bench-smoke job runs ``bench_simulator_speed.py`` on the PR head
+with ``VLT_BENCH_JSON`` pointing at a candidate file, then invokes::
+
+    python benchmarks/compare_bench.py BENCH_simulator_speed.json \
+        candidate.json --max-regression 0.30
+
+Exit status 1 if any compared throughput metric dropped by more than
+``--max-regression`` (default 30%) relative to the baseline.  The
+headline gate is end-to-end cycles/s; functional ops/s and trace-replay
+cycles/s are compared with the same threshold.  Speedups and small
+regressions just print.  Absolute numbers differ across hosts, so this
+is only meaningful when both files come from the same machine (as in
+one CI job) -- it is a smoke gate against order-of-magnitude slowdowns,
+not a precision benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+#: (result key, metric) pairs gated by --max-regression
+_GATED: Tuple[Tuple[str, str], ...] = (
+    ("end_to_end", "cycles_per_s"),
+    ("timing_replay", "cycles_per_s"),
+    ("functional", "ops_per_s"),
+)
+
+
+def _metric(payload: dict, key: str, metric: str) -> Optional[float]:
+    row = payload.get("results", {}).get(key)
+    if not isinstance(row, dict):
+        return None
+    value = row.get(metric)
+    return float(value) if value else None
+
+
+def compare(baseline: dict, candidate: dict,
+            max_regression: float) -> Tuple[List[str], List[str]]:
+    """Returns (report lines, failure lines)."""
+    lines: List[str] = []
+    failures: List[str] = []
+    for key, metric in _GATED:
+        base = _metric(baseline, key, metric)
+        cand = _metric(candidate, key, metric)
+        label = f"{key}.{metric}"
+        if base is None or cand is None:
+            lines.append(f"  {label:<28} missing in "
+                         f"{'baseline' if base is None else 'candidate'}; "
+                         f"skipped")
+            continue
+        ratio = cand / base
+        verdict = "OK"
+        if ratio < 1.0 - max_regression:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}: {cand:,.0f} vs baseline {base:,.0f} "
+                f"({1 - ratio:.0%} slower, limit {max_regression:.0%})")
+        lines.append(f"  {label:<28} base={base:>12,.0f}  "
+                     f"cand={cand:>12,.0f}  ({ratio:.2f}x)  {verdict}")
+    return lines, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate simulator-speed regressions between two "
+                    "BENCH_simulator_speed.json files")
+    parser.add_argument("baseline", help="baseline JSON (checked in)")
+    parser.add_argument("candidate", help="candidate JSON (fresh run)")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="maximum tolerated fractional slowdown "
+                             "(default 0.30 = 30%%)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.candidate) as fh:
+        candidate = json.load(fh)
+
+    lines, failures = compare(baseline, candidate, args.max_regression)
+    print(f"simulator-speed comparison "
+          f"(max regression {args.max_regression:.0%}):")
+    for line in lines:
+        print(line)
+    if failures:
+        print("FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

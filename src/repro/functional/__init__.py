@@ -3,10 +3,14 @@
 from .executor import ExecutionError, Executor, run_program
 from .memory import Memory, MemoryFault, MisalignedAccess
 from .state import ThreadState
-from .trace import DynOp, ProgramTrace, ThreadTrace
+from .trace import (TRACE_FORMAT_VERSION, DynOp, ProgramTrace, ThreadTrace,
+                    load_trace, save_trace, trace_from_bytes, trace_to_bytes)
+from .trace_cache import TraceCache
 
 __all__ = [
     "ExecutionError", "Executor", "run_program",
     "Memory", "MemoryFault", "MisalignedAccess",
     "ThreadState", "DynOp", "ProgramTrace", "ThreadTrace",
+    "TRACE_FORMAT_VERSION", "load_trace", "save_trace",
+    "trace_from_bytes", "trace_to_bytes", "TraceCache",
 ]

@@ -10,12 +10,14 @@ operations, and branch outcomes -- and nothing else (no data values).
 
 from __future__ import annotations
 
+import io
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..isa.opcodes import OpSpec
+from ..isa.opcodes import OpSpec, spec
 
 
 class DynOp:
@@ -123,3 +125,155 @@ class ProgramTrace:
             for op, n in t.opcode_histogram().items():
                 agg[op] = agg.get(op, 0) + n
         return agg
+
+
+# --------------------------------------------------------------------------
+# (De)serialization -- the on-disk trace cache format
+# --------------------------------------------------------------------------
+#
+# Traces are stored columnar: one set of parallel NumPy arrays per
+# thread, bundled with a JSON manifest into an .npz container.  DynOps
+# carry an :class:`OpSpec` reference, but specs are pure functions of the
+# mnemonic, so only an index into a per-file opcode string table is
+# stored and ``spec(op)`` rebuilds the reference on load.  Optional
+# per-op payloads (memory addresses, register-uid tuples) are flattened
+# with offset arrays.  ``allow_pickle`` stays False on both ends.
+
+#: bump when the columnar layout changes; loaders reject other versions.
+TRACE_FORMAT_VERSION = 1
+
+
+def _encode_thread(t: ThreadTrace) -> Dict[str, np.ndarray]:
+    n = len(t.ops)
+    pcs = np.empty(n, dtype=np.int64)
+    vls = np.empty(n, dtype=np.int64)
+    takens = np.empty(n, dtype=np.int8)      # -1 none / 0 / 1
+    tgts = np.empty(n, dtype=np.int64)       # -1 none
+    imms = np.empty(n, dtype=np.int64)       # -1 none (vltcfg imms are >= 1)
+    has_addrs = np.zeros(n, dtype=np.int8)
+    op_ids: Dict[str, int] = {}
+    ops = np.empty(n, dtype=np.int64)
+    r_off = np.zeros(n + 1, dtype=np.int64)
+    w_off = np.zeros(n + 1, dtype=np.int64)
+    a_off = np.zeros(n + 1, dtype=np.int64)
+    r_flat: List[int] = []
+    w_flat: List[int] = []
+    a_parts: List[np.ndarray] = []
+    for i, o in enumerate(t.ops):
+        pcs[i] = o.pc
+        ops[i] = op_ids.setdefault(o.op, len(op_ids))
+        vls[i] = o.vl
+        takens[i] = -1 if o.taken is None else int(o.taken)
+        tgts[i] = -1 if o.tgt is None else o.tgt
+        imms[i] = -1 if o.imm is None else o.imm
+        r_flat.extend(o.reads)
+        w_flat.extend(o.writes)
+        r_off[i + 1] = len(r_flat)
+        w_off[i + 1] = len(w_flat)
+        a_off[i + 1] = a_off[i]
+        if o.addrs is not None:
+            has_addrs[i] = 1
+            a_parts.append(np.asarray(o.addrs, dtype=np.int64))
+            a_off[i + 1] += a_parts[-1].size
+    return {
+        "pcs": pcs, "ops": ops, "vls": vls, "takens": takens,
+        "tgts": tgts, "imms": imms, "has_addrs": has_addrs,
+        "r_off": r_off, "w_off": w_off, "a_off": a_off,
+        "r_flat": np.asarray(r_flat, dtype=np.int64),
+        "w_flat": np.asarray(w_flat, dtype=np.int64),
+        "a_flat": (np.concatenate(a_parts) if a_parts
+                   else np.empty(0, dtype=np.int64)),
+        "op_table": op_ids,
+    }
+
+
+def _decode_thread(tid: int, arrays: Dict[str, np.ndarray],
+                   op_table: List[str]) -> ThreadTrace:
+    pcs = arrays["pcs"]
+    ops = arrays["ops"]
+    vls = arrays["vls"]
+    takens = arrays["takens"]
+    tgts = arrays["tgts"]
+    imms = arrays["imms"]
+    has_addrs = arrays["has_addrs"]
+    r_off, w_off, a_off = arrays["r_off"], arrays["w_off"], arrays["a_off"]
+    r_flat, w_flat, a_flat = (arrays["r_flat"], arrays["w_flat"],
+                              arrays["a_flat"])
+    specs = [(op, spec(op)) for op in op_table]
+    thread = ThreadTrace(tid)
+    append = thread.ops.append
+    for i in range(len(pcs)):
+        op, sp = specs[ops[i]]
+        taken = None if takens[i] < 0 else bool(takens[i])
+        tgt = None if tgts[i] < 0 else int(tgts[i])
+        imm = None if imms[i] < 0 else int(imms[i])
+        addrs = (a_flat[a_off[i]:a_off[i + 1]].copy()
+                 if has_addrs[i] else None)
+        append(DynOp(
+            int(pcs[i]), op, sp,
+            tuple(int(u) for u in r_flat[r_off[i]:r_off[i + 1]]),
+            tuple(int(u) for u in w_flat[w_off[i]:w_off[i + 1]]),
+            vl=int(vls[i]), addrs=addrs, taken=taken, tgt=tgt, imm=imm))
+    return thread
+
+
+def trace_to_bytes(trace: ProgramTrace) -> bytes:
+    """Serialize a :class:`ProgramTrace` to a self-contained byte string."""
+    arrays: Dict[str, np.ndarray] = {}
+    op_tables: List[List[str]] = []
+    for t in trace.threads:
+        cols = _encode_thread(t)
+        op_ids = cols.pop("op_table")
+        op_tables.append([op for op, _ in
+                          sorted(op_ids.items(), key=lambda kv: kv[1])])
+        for name, arr in cols.items():
+            arrays[f"t{t.tid}.{name}"] = arr
+    manifest = {
+        "version": TRACE_FORMAT_VERSION,
+        "program_name": trace.program_name,
+        "num_threads": trace.num_threads,
+        "tids": [t.tid for t in trace.threads],
+        "op_tables": op_tables,
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+def trace_from_bytes(data: bytes) -> ProgramTrace:
+    """Inverse of :func:`trace_to_bytes`.
+
+    Raises ``ValueError`` on an unknown format version.
+    """
+    with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+        manifest = json.loads(bytes(npz["manifest"]).decode("utf-8"))
+        if manifest["version"] != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {manifest['version']} "
+                f"(expected {TRACE_FORMAT_VERSION})")
+        threads = []
+        for tid, op_table in zip(manifest["tids"], manifest["op_tables"]):
+            arrays = {name: npz[f"t{tid}.{name}"]
+                      for name in ("pcs", "ops", "vls", "takens", "tgts",
+                                   "imms", "has_addrs", "r_off", "w_off",
+                                   "a_off", "r_flat", "w_flat", "a_flat")}
+            threads.append(_decode_thread(tid, arrays, op_table))
+    return ProgramTrace(program_name=manifest["program_name"],
+                        num_threads=manifest["num_threads"],
+                        threads=threads)
+
+
+def save_trace(trace: ProgramTrace, path) -> int:
+    """Write a trace to ``path``; returns the byte count written."""
+    data = trace_to_bytes(trace)
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return len(data)
+
+
+def load_trace(path) -> ProgramTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with open(path, "rb") as fh:
+        return trace_from_bytes(fh.read())

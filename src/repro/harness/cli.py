@@ -6,6 +6,7 @@ Usage::
     vlt-repro fig1 fig3 fig4 fig5 fig6
     vlt-repro all
     vlt-repro all --experiments-md EXPERIMENTS.md   # rewrite the doc
+    vlt-repro all --jobs 4 --cache-dir ~/.vlt-cache # parallel + cached
     vlt-repro fig1 --apps mpenc,trfd --lanes 1,8    # narrower/faster
     vlt-repro run mxm --config base --threads 4     # one run, full stats
     vlt-repro trace mxm --out trace.json            # Perfetto trace +
@@ -14,6 +15,10 @@ Usage::
                                                     # profile
     vlt-repro determinism                           # tracing on/off
                                                     # cycle-identity check
+    vlt-repro cache stats --cache-dir ~/.vlt-cache  # cache census
+    vlt-repro cache clear --cache-dir ~/.vlt-cache
+
+See docs/harness.md for the parallel runner and cache design.
 """
 
 from __future__ import annotations
@@ -117,11 +122,12 @@ def run_trace(app: str, config: str = "base", threads: int = 1,
             process_name=f"vlt-sim:{app}@{config}",
             metadata={"app": app, "config": config, "threads": threads,
                       "cycles": tr.result.cycles,
-                      "truncated": tr.events.truncated})
+                      "truncated": tr.events.truncated,
+                      "dropped_events": tr.events.dropped})
         lines.append(f"wrote {n} trace records to {out}"
                      + (" (event log truncated)" if tr.events.truncated
                         else ""))
-    lines.append(render_stall_report(tr.result))
+    lines.append(render_stall_report(tr.result, events=tr.events))
     vl = tr.metrics.histograms().get("vl")
     if vl is not None and vl.count:
         lines.append(
@@ -134,6 +140,11 @@ def run_trace(app: str, config: str = "base", threads: int = 1,
         lines.append(
             f"  L2 bank-conflict timeline: {len(timeline)} hot buckets, "
             f"worst {worst[1]} conflict cycles @ cycle {worst[0]}")
+    if tr.events.truncated:
+        lines.append(
+            f"  event log: TRUNCATED at {len(tr.events.events)} events; "
+            f"{tr.events.dropped} further events dropped (raise "
+            f"--max-events for full coverage)")
     return "\n".join(lines)
 
 
@@ -204,8 +215,13 @@ def check_determinism(app: str = "mxm", config: str = "base",
 
 
 def run_experiment_data(name: str, apps: Optional[List[str]] = None,
-                        lanes: Optional[List[int]] = None) -> Any:
-    """Run one experiment and return its raw result object."""
+                        lanes: Optional[List[int]] = None,
+                        runs: "E.RunMap" = None) -> Any:
+    """Run one experiment and return its raw result object.
+
+    ``runs`` (spec -> result, from the parallel runner) makes the figure
+    drivers consume precomputed results instead of simulating inline.
+    """
     if name in ("table1", "table2"):
         return E.area_tables()
     if name == "table3":
@@ -213,15 +229,16 @@ def run_experiment_data(name: str, apps: Optional[List[str]] = None,
     if name == "table4":
         return E.table4_characteristics(apps or E.ALL_APPS)
     if name == "fig1":
-        return E.fig1_lane_scaling(apps or E.ALL_APPS, lanes or (1, 2, 4, 8))
+        return E.fig1_lane_scaling(apps or E.ALL_APPS, lanes or (1, 2, 4, 8),
+                                   runs=runs)
     if name == "fig3":
-        return E.fig3_vlt_speedup(apps or E.VLT_VECTOR_APPS)
+        return E.fig3_vlt_speedup(apps or E.VLT_VECTOR_APPS, runs=runs)
     if name == "fig4":
-        return E.fig4_utilization(apps or E.VLT_VECTOR_APPS)
+        return E.fig4_utilization(apps or E.VLT_VECTOR_APPS, runs=runs)
     if name == "fig5":
-        return E.fig5_design_space(apps or E.VLT_VECTOR_APPS)
+        return E.fig5_design_space(apps or E.VLT_VECTOR_APPS, runs=runs)
     if name == "fig6":
-        return E.fig6_scalar_threads(apps or E.SCALAR_APPS)
+        return E.fig6_scalar_threads(apps or E.SCALAR_APPS, runs=runs)
     raise KeyError(f"unknown experiment {name!r}; known: {EXPERIMENT_NAMES}")
 
 
@@ -250,9 +267,11 @@ def _render(name: str, data: Any) -> str:
 
 
 def run_experiment(name: str, apps: Optional[List[str]] = None,
-                   lanes: Optional[List[int]] = None) -> str:
+                   lanes: Optional[List[int]] = None,
+                   runs: "E.RunMap" = None) -> str:
     """Run one experiment and return its rendered report."""
-    return _render(name, run_experiment_data(name, apps=apps, lanes=lanes))
+    return _render(name, run_experiment_data(name, apps=apps, lanes=lanes,
+                                             runs=runs))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -284,7 +303,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "('trace' verb)")
     parser.add_argument("--max-events", type=int, default=1_000_000,
                         help="event-log bound for the 'trace' verb")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment sweep "
+                             "(1 = serial in-process reference path)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="content-addressed trace/result cache root "
+                             "(shared across processes and invocations)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock limit in seconds "
+                             "(runner path only)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="extra attempts after a run fails "
+                             "(runner path only)")
     args = parser.parse_args(argv)
+
+    if args.experiments[0] == "cache":
+        if len(args.experiments) != 2 or \
+                args.experiments[1] not in ("stats", "clear"):
+            parser.error("usage: vlt-repro cache {stats|clear} "
+                         "--cache-dir DIR")
+        if not args.cache_dir:
+            parser.error("the cache verb requires --cache-dir")
+        from ..functional.trace_cache import TraceCache
+        cache = TraceCache(args.cache_dir)
+        if args.experiments[1] == "stats":
+            print(json.dumps(cache.stats(), indent=2))
+        else:
+            removed = cache.clear()
+            print(f"removed {removed} cache entries under {args.cache_dir}")
+        return 0
 
     if args.experiments[0] == "run":
         if len(args.experiments) != 2:
@@ -330,20 +377,61 @@ def main(argv: Optional[List[str]] = None) -> int:
     apps = args.apps.split(",") if args.apps else None
     lanes = [int(x) for x in args.lanes.split(",")] if args.lanes else None
 
+    # Parallel runner path: fan the declared run matrix out over worker
+    # processes first, then let the drivers consume the results.  The
+    # serial default (--jobs 1, no cache) simulates inline as before.
+    runs = None
+    failures = None
+    runner = None
+    if args.jobs > 1 or args.cache_dir or args.timeout:
+        from ..timing.run import set_default_profiler, set_trace_cache_dir
+        from .runner import ExperimentRunner
+        specs = E.matrix_for(names, apps=apps, lanes=lanes)
+        if args.experiments_md:
+            # the written document regenerates every figure over its
+            # default sweep (it ignores --apps/--lanes); widen the
+            # matrix so those sections are served from the run map too
+            # instead of degrading to SECTION FAILED.
+            doc_specs = E.matrix_for(["fig1", "fig3", "fig4", "fig5",
+                                      "fig6"])
+            have = set(specs)
+            specs = specs + [s for s in doc_specs if s not in have]
+        runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir,
+                                  timeout=args.timeout,
+                                  retries=args.retries)
+        if args.cache_dir:
+            set_trace_cache_dir(args.cache_dir)
+        # parent-side runs (table4, doc extensions) count in one profile
+        set_default_profiler(runner.profiler)
+        if specs:
+            t0 = time.time()
+            runner.run(specs)
+            runs = runner.results
+            failures = runner.failures
+            print(runner.report())
+            print(f"[runner: {len(specs)} specs, "
+                  f"{time.time() - t0:.1f}s]\n")
+
     sections: List[str] = []
     json_data: Dict[str, Any] = {}
     for name in names:
         t0 = time.time()
-        if name == "verify":
-            text = verify_workloads(apps)
-        elif name == "mix":
-            text = instruction_mix(apps)
-        elif args.json:
-            data = run_experiment_data(name, apps=apps, lanes=lanes)
-            json_data[name] = _jsonable(data)
-            text = _render(name, data)
-        else:
-            text = run_experiment(name, apps=apps, lanes=lanes)
+        try:
+            if name == "verify":
+                text = verify_workloads(apps)
+            elif name == "mix":
+                text = instruction_mix(apps)
+            elif args.json:
+                data = run_experiment_data(name, apps=apps, lanes=lanes,
+                                           runs=runs)
+                json_data[name] = _jsonable(data)
+                text = _render(name, data)
+            else:
+                text = run_experiment(name, apps=apps, lanes=lanes,
+                                      runs=runs)
+        except E.MissingRunError as exc:
+            text = (f"{name}: SECTION FAILED -- required run unavailable: "
+                    f"{exc.spec} (see runner failures above)")
         sections.append(text)
         print(text)
         print(f"\n[{name}: {time.time() - t0:.1f}s]\n")
@@ -355,8 +443,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.experiments_md:
         from .docgen import write_experiments_md
-        write_experiments_md(args.experiments_md)
+        write_experiments_md(args.experiments_md, runs=runs,
+                             failures=failures)
         print(f"wrote {args.experiments_md}")
+
+    if runner is not None:
+        from ..timing.run import get_trace_cache, set_default_profiler
+        set_default_profiler(None)
+        print(runner.profiler.report())
+        cache = get_trace_cache()
+        if cache is not None:
+            s = cache.stats()
+            c = s["counters"]
+            print(f"cache {s['root']}: {s['traces']['entries']} traces / "
+                  f"{s['results']['entries']} results on disk; this "
+                  f"process: trace hits {c['trace_hits']}, misses "
+                  f"{c['trace_misses']}; result hits {c['result_hits']}, "
+                  f"misses {c['result_misses']}")
     return 0
 
 

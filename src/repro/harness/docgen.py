@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List, Optional, Sequence
 
 from . import experiments as E
 from . import report as R
+from .runner import MissingRunError, RunFailure
 
 _HEADER = """\
 # EXPERIMENTS -- paper vs. measured
@@ -24,13 +25,37 @@ Regenerate this file with:
 """
 
 
-def generate_experiments_md() -> str:
+def generate_experiments_md(runs: E.RunMap = None,
+                            failures: Optional[Sequence[RunFailure]] = None
+                            ) -> str:
+    """Render the full report.
+
+    ``runs`` is an optional precomputed spec -> result mapping from the
+    parallel runner; without it every driver simulates inline, serially.
+    The two paths produce byte-identical documents.  With ``runs``, a
+    figure whose matrix has a failed/missing run degrades to a FAILED
+    section instead of aborting the document, and a non-empty
+    ``failures`` list adds an appendix describing what broke.
+    """
     sections: List[str] = [_HEADER]
 
     def add(title: str, body: str, commentary: str = "") -> None:
         sections.append(f"\n## {title}\n\n```\n{body}\n```\n")
         if commentary:
             sections.append(commentary + "\n")
+
+    def add_figure(title: str, driver: Callable[[], object],
+                   render: Callable[[object], str],
+                   commentary: Callable[[object], str]) -> None:
+        try:
+            data = driver()
+        except MissingRunError as exc:
+            add(title, f"SECTION FAILED: required run unavailable: "
+                       f"{exc.spec}",
+                "This section could not be rendered because a run in its "
+                "matrix failed; see the run-failure appendix below.")
+            return
+        add(title, render(data), commentary(data))
 
     add("Tables 1-2: area model", R.render_area(E.area_tables()),
         "Measured values are exact arithmetic over the paper's Table 1 "
@@ -50,33 +75,47 @@ def generate_experiments_md() -> str:
         "Opportunity is measured from base-machine phase timings (parallel "
         "phases / total).")
 
-    fig1 = E.fig1_lane_scaling()
-    add("Figure 1: lane scaling", R.render_fig1(fig1),
-        _fig1_commentary(fig1))
+    add_figure("Figure 1: lane scaling",
+               lambda: E.fig1_lane_scaling(runs=runs),
+               R.render_fig1, _fig1_commentary)
 
-    fig3 = E.fig3_vlt_speedup()
-    add("Figure 3: VLT speedup (vector threads)", R.render_fig3(fig3),
-        _fig3_commentary(fig3))
+    add_figure("Figure 3: VLT speedup (vector threads)",
+               lambda: E.fig3_vlt_speedup(runs=runs),
+               R.render_fig3, _fig3_commentary)
 
-    add("Figure 4: datapath utilization",
-        R.render_fig4(E.fig4_utilization()),
-        "As in the paper: VLT compresses execution (total bar shrinks "
-        "vs. base = 1.0), busy datapath-cycles grow as a share, and "
-        "stall/idle cycles shrink, while a residue of stall/idle remains "
-        "from sequential portions and functional-unit imbalance.")
+    add_figure("Figure 4: datapath utilization",
+               lambda: E.fig4_utilization(runs=runs),
+               R.render_fig4,
+               lambda _data: (
+                   "As in the paper: VLT compresses execution (total bar "
+                   "shrinks vs. base = 1.0), busy datapath-cycles grow as a "
+                   "share, and stall/idle cycles shrink, while a residue of "
+                   "stall/idle remains from sequential portions and "
+                   "functional-unit imbalance."))
 
-    fig5 = E.fig5_design_space()
-    add("Figure 5: scalar-unit design space", R.render_fig5(fig5),
-        _fig5_commentary(fig5))
+    add_figure("Figure 5: scalar-unit design space",
+               lambda: E.fig5_design_space(runs=runs),
+               R.render_fig5, _fig5_commentary)
 
-    fig6 = E.fig6_scalar_threads()
-    add("Figure 6: scalar threads on the lanes", R.render_fig6(fig6),
-        _fig6_commentary(fig6))
+    add_figure("Figure 6: scalar threads on the lanes",
+               lambda: E.fig6_scalar_threads(runs=runs),
+               R.render_fig6, _fig6_commentary)
 
     add("Extensions (paper Sections 3.2/3.3 and 6)", _extensions_report(),
         "Dynamic reconfiguration, the multiplexed-vs-replicated VCL "
         "claim, and the more-lanes trend; see benchmarks/"
         "bench_extensions.py for the asserted versions.")
+
+    if failures:
+        lines = ["The parallel runner could not complete every run; the "
+                 "sections above that depended on a missing run are marked "
+                 "FAILED.", ""]
+        for f in failures:
+            lines.append(f"* `{f.spec}` -- {f.error_type}: {f.message} "
+                         f"(after {f.attempts} attempt"
+                         f"{'s' if f.attempts != 1 else ''})")
+        sections.append("\n## Appendix: run failures\n\n"
+                        + "\n".join(lines) + "\n")
 
     return "\n".join(sections)
 
@@ -216,6 +255,8 @@ def _fig6_commentary(fig6: E.Fig6Result) -> str:
             f"sensitivity of the lane side to the access-decoupling model.")
 
 
-def write_experiments_md(path: str) -> None:
+def write_experiments_md(path: str, runs: E.RunMap = None,
+                         failures: Optional[Sequence[RunFailure]] = None
+                         ) -> None:
     with open(path, "w") as fh:
-        fh.write(generate_experiments_md())
+        fh.write(generate_experiments_md(runs=runs, failures=failures))

@@ -19,7 +19,7 @@ Run-matrix conventions (Sections 6-7 of the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..area.model import table1_rows, table2_rows
 from ..timing.config import (BASE, CMT, V2_CMP, V2_SMT, V4_CMP, V4_CMP_H,
@@ -28,6 +28,11 @@ from ..timing.config import (BASE, CMT, V2_CMP, V2_SMT, V4_CMP, V4_CMP_H,
 from ..timing.run import simulate
 from ..timing.stats import DatapathUtilization, RunResult
 from ..workloads import AppCharacteristics, characterize, get_workload
+from .runner import MissingRunError, RunSpec
+
+#: precomputed results keyed by run spec (what the parallel runner hands
+#: the drivers); ``None`` means "simulate inline, serially".
+RunMap = Optional[Mapping[RunSpec, RunResult]]
 
 #: application groups (Table 4 structure)
 LONG_VECTOR_APPS = ("mxm", "sage")
@@ -50,10 +55,91 @@ PAPER_FIG6 = {"radix": 2.0, "ocean": 2.2, "barnes": 1.1}
 
 
 def _run(app: str, cfg: MachineConfig, threads: int,
-         scalar_only: bool = False) -> RunResult:
+         scalar_only: bool = False, runs: RunMap = None) -> RunResult:
+    """One timing run -- inline, or looked up in a precomputed run map.
+
+    When ``runs`` is given (the parallel-runner path), a missing or
+    failed spec raises :class:`MissingRunError` so the report section
+    that needed it can degrade instead of the whole sweep dying.
+    """
+    if runs is not None:
+        spec = RunSpec(app=app, config=cfg.name, threads=threads,
+                       scalar_only=scalar_only)
+        result = runs.get(spec)
+        if result is None:
+            raise MissingRunError(spec)
+        return result
     w = get_workload(app)
     prog = w.program(scalar_only=scalar_only)
     return simulate(prog, cfg, num_threads=threads)
+
+
+# --------------------------------------------------------------------------
+# Run matrices: each figure's runs as data (for the parallel runner)
+# --------------------------------------------------------------------------
+
+def fig1_matrix(apps: Sequence[str] = ALL_APPS,
+                lanes: Sequence[int] = (1, 2, 4, 8)) -> List[RunSpec]:
+    return [RunSpec(app, base_config(lanes=n).name, 1)
+            for app in apps for n in lanes]
+
+
+def fig3_matrix(apps: Sequence[str] = VLT_VECTOR_APPS) -> List[RunSpec]:
+    return [spec for app in apps for spec in (
+        RunSpec(app, BASE.name, 1),
+        RunSpec(app, V2_CMP.name, 2),
+        RunSpec(app, V4_CMP.name, 4))]
+
+
+def fig4_matrix(apps: Sequence[str] = VLT_VECTOR_APPS) -> List[RunSpec]:
+    return fig3_matrix(apps)
+
+
+def fig5_matrix(apps: Sequence[str] = VLT_VECTOR_APPS) -> List[RunSpec]:
+    return [spec for app in apps for spec in (
+        [RunSpec(app, BASE.name, 1)]
+        + [RunSpec(app, cfg.name, threads) for cfg, threads in FIG5_POINTS])]
+
+
+def fig6_matrix(apps: Sequence[str] = SCALAR_APPS) -> List[RunSpec]:
+    return [spec for app in apps for spec in (
+        RunSpec(app, CMT.name, 4, scalar_only=True),
+        RunSpec(app, VLT_SCALAR.name, 8, scalar_only=True))]
+
+
+def matrix_for(names: Sequence[str],
+               apps: Optional[Sequence[str]] = None,
+               lanes: Optional[Sequence[int]] = None) -> List[RunSpec]:
+    """Deduplicated union of the run matrices for ``names``.
+
+    ``names`` may include non-simulation entries (tables); they simply
+    contribute no specs.  ``apps``/``lanes`` override each figure's
+    sweep exactly the way the driver arguments do -- verbatim, NOT
+    intersected with the figure's default set, so the matrix always
+    covers precisely the runs the drivers will look up.
+    """
+    def pick(defaults: Sequence[str]) -> Sequence[str]:
+        return apps if apps else defaults
+
+    specs: List[RunSpec] = []
+    for name in names:
+        if name == "fig1":
+            specs += fig1_matrix(pick(ALL_APPS), lanes or (1, 2, 4, 8))
+        elif name == "fig3":
+            specs += fig3_matrix(pick(VLT_VECTOR_APPS))
+        elif name == "fig4":
+            specs += fig4_matrix(pick(VLT_VECTOR_APPS))
+        elif name == "fig5":
+            specs += fig5_matrix(pick(VLT_VECTOR_APPS))
+        elif name == "fig6":
+            specs += fig6_matrix(pick(SCALAR_APPS))
+    out: List[RunSpec] = []
+    seen = set()
+    for s in specs:
+        if s not in seen:
+            seen.add(s)
+            out.append(s)
+    return out
 
 
 # --------------------------------------------------------------------------
@@ -72,13 +158,14 @@ class Fig1Result:
 
 
 def fig1_lane_scaling(apps: Sequence[str] = ALL_APPS,
-                      lanes: Sequence[int] = (1, 2, 4, 8)) -> Fig1Result:
+                      lanes: Sequence[int] = (1, 2, 4, 8),
+                      runs: RunMap = None) -> Fig1Result:
     """Single-thread speedup vs. number of vector lanes (paper Fig. 1)."""
     cycles: Dict[str, List[int]] = {}
     for app in apps:
         row: List[int] = []
         for n in lanes:
-            row.append(_run(app, base_config(lanes=n), 1).cycles)
+            row.append(_run(app, base_config(lanes=n), 1, runs=runs).cycles)
         cycles[app] = row
     return Fig1Result(lanes=tuple(lanes), cycles=cycles)
 
@@ -141,14 +228,15 @@ class Fig3Result:
         return self.cycles[app]["base"] / self.cycles[app][threads]
 
 
-def fig3_vlt_speedup(apps: Sequence[str] = VLT_VECTOR_APPS) -> Fig3Result:
+def fig3_vlt_speedup(apps: Sequence[str] = VLT_VECTOR_APPS,
+                     runs: RunMap = None) -> Fig3Result:
     """VLT speedup over base: V2-CMP (2 threads), V4-CMP (4 threads)."""
     out: Dict[str, Dict[object, int]] = {}
     for app in apps:
         out[app] = {
-            "base": _run(app, BASE, 1).cycles,
-            2: _run(app, V2_CMP, 2).cycles,
-            4: _run(app, V4_CMP, 4).cycles,
+            "base": _run(app, BASE, 1, runs=runs).cycles,
+            2: _run(app, V2_CMP, 2, runs=runs).cycles,
+            4: _run(app, V4_CMP, 4, runs=runs).cycles,
         }
     return Fig3Result(cycles=out)
 
@@ -176,12 +264,13 @@ class Fig4Result:
         return bars
 
 
-def fig4_utilization(apps: Sequence[str] = VLT_VECTOR_APPS) -> Fig4Result:
+def fig4_utilization(apps: Sequence[str] = VLT_VECTOR_APPS,
+                     runs: RunMap = None) -> Fig4Result:
     data: Dict[str, Dict[str, Tuple[DatapathUtilization, int]]] = {}
     for app in apps:
-        base = _run(app, BASE, 1)
-        r2 = _run(app, V2_CMP, 2)
-        r4 = _run(app, V4_CMP, 4)
+        base = _run(app, BASE, 1, runs=runs)
+        r2 = _run(app, V2_CMP, 2, runs=runs)
+        r4 = _run(app, V4_CMP, 4, runs=runs)
         data[app] = {
             "base": (base.utilization, base.cycles),
             "VLT-2": (r2.utilization, r2.cycles),
@@ -208,15 +297,16 @@ class Fig5Result:
     base_cycles: Dict[str, int]
 
 
-def fig5_design_space(apps: Sequence[str] = VLT_VECTOR_APPS) -> Fig5Result:
+def fig5_design_space(apps: Sequence[str] = VLT_VECTOR_APPS,
+                      runs: RunMap = None) -> Fig5Result:
     speedups: Dict[str, Dict[str, float]] = {}
     base_cycles: Dict[str, int] = {}
     for app in apps:
-        base = _run(app, BASE, 1).cycles
+        base = _run(app, BASE, 1, runs=runs).cycles
         base_cycles[app] = base
         row: Dict[str, float] = {}
         for cfg, threads in FIG5_POINTS:
-            row[cfg.name] = base / _run(app, cfg, threads).cycles
+            row[cfg.name] = base / _run(app, cfg, threads, runs=runs).cycles
         speedups[app] = row
     return Fig5Result(speedups=speedups, base_cycles=base_cycles)
 
@@ -234,7 +324,8 @@ class Fig6Result:
         return self.cycles[app]["CMT"] / self.cycles[app]["VLT"]
 
 
-def fig6_scalar_threads(apps: Sequence[str] = SCALAR_APPS) -> Fig6Result:
+def fig6_scalar_threads(apps: Sequence[str] = SCALAR_APPS,
+                        runs: RunMap = None) -> Fig6Result:
     """8 VLT scalar threads on the lanes vs 4 threads on the CMT machine.
 
     Both run the ``scalar_only`` program flavour: lane cores cannot
@@ -244,7 +335,8 @@ def fig6_scalar_threads(apps: Sequence[str] = SCALAR_APPS) -> Fig6Result:
     out: Dict[str, Dict[str, int]] = {}
     for app in apps:
         out[app] = {
-            "CMT": _run(app, CMT, 4, scalar_only=True).cycles,
-            "VLT": _run(app, VLT_SCALAR, 8, scalar_only=True).cycles,
+            "CMT": _run(app, CMT, 4, scalar_only=True, runs=runs).cycles,
+            "VLT": _run(app, VLT_SCALAR, 8, scalar_only=True,
+                        runs=runs).cycles,
         }
     return Fig6Result(cycles=out)

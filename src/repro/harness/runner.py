@@ -1,0 +1,417 @@
+"""Fault-tolerant parallel experiment runner.
+
+The experiment drivers (:mod:`repro.harness.experiments`) declare their
+run matrix as data -- a list of :class:`RunSpec` -- and this module fans
+it out over a :class:`~concurrent.futures.ProcessPoolExecutor`, backed
+by the content-addressed trace/result cache
+(:mod:`repro.functional.trace_cache`).  Everything a worker needs to
+reproduce a run travels as plain picklable data: the application *name*,
+the configuration *name* (resolved via
+:func:`repro.timing.config.get_config`) and the thread count.  Workers
+rebuild the program locally; the program's *content digest* -- not its
+object identity -- keys the shared cache, so every process (and every
+later invocation) converges on the same trace files.
+
+Fault tolerance: each run gets a wall-clock timeout and a bounded number
+of retries, and any exception is captured as a structured
+:class:`RunFailure` rather than propagated -- one diverging
+configuration degrades the report instead of killing the whole sweep.
+A worker process dying outright (the pool breaks) triggers a fallback
+pass that re-runs each remaining spec in its own single-worker pool, so
+one poisoned spec cannot take healthy ones down with it.
+
+Set ``VLT_RUNNER_TEST_CRASH=<app>:<config>`` to make the worker for that
+spec die with ``os._exit`` -- test hook for the crash-recovery path.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..functional.trace_cache import result_key
+from ..obs.hostprof import PhaseProfiler
+from ..timing import run as timing_run
+from ..timing.config import get_config
+from ..timing.stats import RunResult
+
+#: test hook: crash the worker executing ``<app>:<config>``
+_CRASH_ENV = "VLT_RUNNER_TEST_CRASH"
+
+DEFAULT_MAX_CYCLES = 50_000_000
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One point of the experiment run matrix, as plain data."""
+
+    app: str
+    config: str            # configuration *name*, see get_config()
+    threads: int = 1
+    scalar_only: bool = False
+
+    def __str__(self) -> str:
+        flavour = ", scalar" if self.scalar_only else ""
+        return f"{self.app} on {self.config} ({self.threads} thr{flavour})"
+
+
+@dataclass
+class RunFailure:
+    """Structured capture of a run that exhausted its retries."""
+
+    spec: RunSpec
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    #: partial host-side phase profile up to the failure point
+    phases: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.spec}: {self.error_type}: {self.message} "
+                f"(after {self.attempts} attempt"
+                f"{'s' if self.attempts != 1 else ''})")
+
+
+@dataclass
+class RunOutcome:
+    """Result of executing one :class:`RunSpec` (success or failure)."""
+
+    spec: RunSpec
+    result: Optional[RunResult] = None
+    failure: Optional[RunFailure] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+    #: served from the on-disk result cache (no timing replay happened)
+    result_cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+class MissingRunError(KeyError):
+    """A driver needed a run the runner did not (successfully) produce."""
+
+    def __init__(self, spec: RunSpec) -> None:
+        self.spec = spec
+        super().__init__(str(spec))
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return str(self.spec)
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+class RunTimeout(Exception):
+    """A single run exceeded the per-run wall-clock timeout."""
+
+
+@contextmanager
+def _alarm(timeout_s: Optional[float]) -> Iterator[None]:
+    """Raise :class:`RunTimeout` after ``timeout_s`` wall seconds.
+
+    Uses ``SIGALRM``; the simulator main loop is pure Python so the
+    signal is serviced promptly.  No-op when ``timeout_s`` is None or
+    the platform lacks ``SIGALRM``.
+    """
+    if not timeout_s or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded {timeout_s:g}s wall-clock limit")
+
+    prev = signal.signal(signal.SIGALRM, _on_alarm)
+    # Re-arm while over the limit: a raise from a signal handler is
+    # *discarded* if it lands in a context where Python suppresses
+    # exceptions (a GC callback, a __del__) -- with a one-shot timer
+    # the timeout would be silently lost.  The interval gives it
+    # another chance until the run is actually interrupted.
+    signal.setitimer(signal.ITIMER_REAL, timeout_s, min(timeout_s, 0.05))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, prev)
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Pool initializer: point the worker at the shared on-disk cache."""
+    timing_run.set_trace_cache_dir(cache_dir)
+
+
+def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
+                  max_cycles: int) -> Dict[str, object]:
+    """Execute one spec; never raises (failures come back as data).
+
+    Runs in a worker process (or inline for ``jobs=1``).  The payload is
+    either ``{"result": RunResult, ...}`` or ``{"error": {...}, ...}``;
+    both carry the phase profile and wall time so the parent can merge
+    host-side accounting even for failed runs.
+    """
+    from ..timing.run import simulate
+    from ..workloads import get_workload
+
+    crash = os.environ.get(_CRASH_ENV)
+    if crash and crash == f"{spec.app}:{spec.config}":
+        os._exit(42)   # simulate a hard worker death (segfault/OOM-kill)
+
+    prof = PhaseProfiler()
+    t0 = time.perf_counter()
+    try:
+        with _alarm(timeout_s):
+            with prof.phase("program_build"):
+                prog = get_workload(spec.app).program(
+                    scalar_only=spec.scalar_only)
+            cfg = get_config(spec.config)
+            cache = timing_run.get_trace_cache()
+            key = None
+            if cache is not None:
+                key = result_key(prog.digest(), cfg.digest(),
+                                 spec.threads, max_cycles)
+                with prof.phase("result_cache_load"):
+                    hit = cache.load_result(key)
+                if hit is not None:
+                    return {"result": hit, "result_cached": True,
+                            "phases": prof.as_dict(),
+                            "wall_s": time.perf_counter() - t0}
+            result = simulate(prog, cfg, num_threads=spec.threads,
+                              max_cycles=max_cycles, profiler=prof)
+            if cache is not None:
+                with prof.phase("result_cache_store"):
+                    cache.store_result(key, result)
+        return {"result": result, "result_cached": False,
+                "phases": prof.as_dict(),
+                "wall_s": time.perf_counter() - t0}
+    except Exception as exc:
+        return {"error": {"type": type(exc).__name__, "message": str(exc),
+                          "traceback": traceback.format_exc()},
+                "phases": prof.as_dict(),
+                "wall_s": time.perf_counter() - t0}
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+class ExperimentRunner:
+    """Execute a run matrix, optionally in parallel, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs everything in-process (no pool),
+        which is the bit-for-bit reference path.
+    cache_dir:
+        Root of the shared on-disk trace/result cache.  With ``jobs > 1``
+        and no ``cache_dir``, an ephemeral directory is used for the
+        duration of :meth:`run` so workers still share traces.
+    timeout:
+        Per-run wall-clock limit in seconds (None = unlimited).
+    retries:
+        Extra attempts after the first failure of a spec.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
+                 timeout: Optional[float] = None, retries: int = 2,
+                 max_cycles: int = DEFAULT_MAX_CYCLES) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.timeout = timeout
+        self.retries = retries
+        self.max_cycles = max_cycles
+        #: merged host-side phase profile across all workers + parent
+        self.profiler = PhaseProfiler()
+        self.outcomes: Dict[RunSpec, RunOutcome] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> Dict[RunSpec, RunOutcome]:
+        """Execute every distinct spec; returns spec -> outcome."""
+        ordered: List[RunSpec] = []
+        seen = set()
+        for s in specs:
+            if s not in seen:
+                seen.add(s)
+                ordered.append(s)
+
+        ephemeral = None
+        cache_dir = self.cache_dir
+        if cache_dir is None and self.jobs > 1:
+            ephemeral = tempfile.mkdtemp(prefix="vlt-cache-")
+            cache_dir = ephemeral
+        prev_cache = timing_run.get_trace_cache()
+        timing_run.set_trace_cache_dir(cache_dir)
+        try:
+            if self.jobs == 1:
+                self._run_serial(ordered)
+            else:
+                self._run_parallel(ordered, cache_dir)
+        finally:
+            if ephemeral is not None:
+                # drop the throwaway cache and restore the previous one
+                import shutil
+                shutil.rmtree(ephemeral, ignore_errors=True)
+                timing_run.set_trace_cache_dir(
+                    str(prev_cache.root) if prev_cache is not None else None)
+        return dict(self.outcomes)
+
+    @property
+    def results(self) -> Dict[RunSpec, RunResult]:
+        """Successful results only -- the mapping drivers consume."""
+        return {s: o.result for s, o in self.outcomes.items() if o.ok}
+
+    @property
+    def failures(self) -> List[RunFailure]:
+        return [o.failure for o in self.outcomes.values()
+                if o.failure is not None]
+
+    # -- internals -----------------------------------------------------------
+
+    def _record(self, spec: RunSpec, payload: Dict[str, object],
+                attempts: int) -> bool:
+        """Fold a worker payload into outcomes; True on success."""
+        self.profiler.merge_dict(payload.get("phases", {}))
+        wall = float(payload.get("wall_s", 0.0))
+        err = payload.get("error")
+        if err is None:
+            self.outcomes[spec] = RunOutcome(
+                spec=spec, result=payload["result"], attempts=attempts,
+                wall_s=wall,
+                result_cached=bool(payload.get("result_cached")))
+            return True
+        self.outcomes[spec] = RunOutcome(
+            spec=spec, attempts=attempts, wall_s=wall,
+            failure=RunFailure(
+                spec=spec, error_type=str(err["type"]),
+                message=str(err["message"]),
+                traceback=str(err.get("traceback", "")),
+                attempts=attempts,
+                phases=dict(payload.get("phases", {}))))
+        return False
+
+    def _record_crash(self, spec: RunSpec, attempts: int) -> None:
+        self.outcomes[spec] = RunOutcome(
+            spec=spec, attempts=attempts,
+            failure=RunFailure(
+                spec=spec, error_type="WorkerCrash",
+                message="worker process died (killed or crashed) while "
+                        "executing this run", attempts=attempts))
+
+    def _run_serial(self, specs: Sequence[RunSpec]) -> None:
+        for spec in specs:
+            for attempt in range(1, self.retries + 2):
+                payload = _execute_spec(spec, self.timeout, self.max_cycles)
+                if self._record(spec, payload, attempt):
+                    break
+
+    def _run_parallel(self, specs: Sequence[RunSpec],
+                      cache_dir: Optional[str]) -> None:
+        pending: Dict[RunSpec, int] = {s: 0 for s in specs}  # attempts used
+        while pending:
+            crashed = self._pool_round(list(pending), pending, cache_dir)
+            if crashed:
+                # The pool broke: some spec kills its worker.  We cannot
+                # tell which future was the culprit, so quarantine --
+                # every remaining spec runs in its own disposable pool.
+                for spec in list(pending):
+                    attempts = pending.pop(spec)
+                    self._run_isolated(spec, attempts, cache_dir)
+                return
+            # specs that failed with a plain exception and still have
+            # retries left stay in `pending` for another round
+
+    def _pool_round(self, specs: List[RunSpec],
+                    pending: Dict[RunSpec, int],
+                    cache_dir: Optional[str]) -> bool:
+        """One pool pass over ``specs``; returns True if the pool broke.
+
+        Successes and retry-exhausted failures leave ``pending``;
+        retryable failures stay with their attempt count bumped.
+        """
+        futs: Dict[object, RunSpec] = {}
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(specs)),
+                    initializer=_worker_init,
+                    initargs=(cache_dir,)) as pool:
+                futs = {pool.submit(_execute_spec, s, self.timeout,
+                                    self.max_cycles): s for s in specs}
+                not_done = set(futs)
+                while not_done:
+                    done, not_done = wait(not_done,
+                                          return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        spec = futs[fut]
+                        exc = fut.exception()
+                        if isinstance(exc, BrokenProcessPool):
+                            raise exc
+                        attempts = pending[spec] + 1
+                        if exc is not None:   # pragma: no cover - defensive
+                            payload = {"error": {
+                                "type": type(exc).__name__,
+                                "message": str(exc), "traceback": ""}}
+                        else:
+                            payload = fut.result()
+                        ok = (payload.get("error") is None)
+                        if ok or attempts > self.retries:
+                            self._record(spec, payload, attempts)
+                            del pending[spec]
+                        else:
+                            pending[spec] = attempts
+            return False
+        except BrokenProcessPool:
+            # Sweep up futures that genuinely completed before the break
+            # so their results are not lost to the quarantine pass.
+            for fut, spec in futs.items():
+                if spec in pending and fut.done() and fut.exception() is None:
+                    if self._record(spec, fut.result(), pending[spec] + 1):
+                        del pending[spec]
+            return True
+
+    def _run_isolated(self, spec: RunSpec, attempts_used: int,
+                      cache_dir: Optional[str]) -> None:
+        """Run one spec in disposable single-worker pools until it
+        succeeds, exhausts its retries, or keeps crashing."""
+        attempts = attempts_used
+        while attempts <= self.retries:
+            attempts += 1
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=1, initializer=_worker_init,
+                        initargs=(cache_dir,)) as pool:
+                    payload = pool.submit(_execute_spec, spec, self.timeout,
+                                          self.max_cycles).result()
+            except BrokenProcessPool:
+                self._record_crash(spec, attempts)
+                continue
+            if self._record(spec, payload, attempts):
+                return
+        # the last _record/_record_crash above left the final failure
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> str:
+        """One-paragraph summary of the sweep."""
+        ok = sum(1 for o in self.outcomes.values() if o.ok)
+        cached = sum(1 for o in self.outcomes.values() if o.result_cached)
+        lines = [f"runner: {ok}/{len(self.outcomes)} runs succeeded "
+                 f"({cached} served from result cache, jobs={self.jobs})"]
+        for f in self.failures:
+            lines.append(f"  FAILED {f.summary()}")
+        return "\n".join(lines)

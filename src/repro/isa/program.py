@@ -10,6 +10,7 @@ OpenMP-style workloads (Section 3.3).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -158,9 +159,12 @@ class Program:
     #: Total bytes of data memory the program needs.
     memory_bytes: int = 1 << 16
     finalized: bool = False
+    #: memoised content digest (see :meth:`digest`)
+    _digest: Optional[str] = field(default=None, repr=False, compare=False)
 
     def finalize(self) -> "Program":
         """Assign pcs, resolve label targets, and validate."""
+        self._digest = None
         for pc, ins in enumerate(self.instrs):
             ins.pc = pc
         for ins in self.instrs:
@@ -173,6 +177,40 @@ class Program:
             raise ValueError(f"program {self.name!r} has no halt instruction")
         self.finalized = True
         return self
+
+    def digest(self) -> str:
+        """Stable content digest of the finalized program (hex SHA-256).
+
+        Two programs with the same digest produce identical functional
+        traces for any thread count: the digest covers everything
+        execution can observe -- name (it lands in
+        :attr:`~repro.functional.trace.ProgramTrace.program_name`),
+        instruction stream with resolved branch targets, the initial
+        data image, and the memory size.  Pure metadata (labels, symbol
+        names) is excluded.  This is the cache key for trace memoisation
+        and the on-disk trace cache; unlike ``id(program)`` it survives
+        garbage collection and crosses process boundaries.
+        """
+        if not self.finalized:
+            raise ValueError("digest() requires a finalized program")
+        if self._digest is None:
+            h = hashlib.sha256()
+            h.update(b"vlt-program-v1\0")
+            h.update(self.name.encode("utf-8"))
+            h.update(b"\0%d\0" % self.memory_bytes)
+            for ins in self.instrs:
+                # repr() of these plain int/float/str/tuple fields is
+                # canonical and unambiguous as a one-line record
+                h.update(repr((ins.op, ins.dst, ins.srcs, ins.imm,
+                               ins.mem, ins.stride, ins.vidx, ins.target,
+                               ins.masked)).encode("utf-8"))
+                h.update(b"\n")
+            for addr, arr in self.initializers:
+                a = np.ascontiguousarray(arr)
+                h.update(f"@{addr}:{a.dtype.str}:{a.shape}".encode("utf-8"))
+                h.update(a.tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     def symbol_addr(self, name: str) -> int:
         """Byte address of a data symbol."""

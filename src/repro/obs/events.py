@@ -211,7 +211,9 @@ class EventLog:
 
     ``kinds`` restricts collection to a subset of event kinds (None
     collects everything).  When ``max_events`` is reached the log stops
-    recording and flags itself ``truncated``.
+    recording, flags itself ``truncated``, and counts every further
+    event it would have recorded in ``dropped`` -- so reports can say
+    not just *that* the log is partial but *how* partial.
     """
 
     def __init__(self, max_events: int = 1_000_000,
@@ -222,11 +224,15 @@ class EventLog:
         self.start_cycle = start_cycle
         self.events: List[Event] = []
         self.truncated = False
+        self.dropped = 0
 
     def on_event(self, event: Event) -> None:
-        if self.truncated or event.cycle < self.start_cycle:
+        if event.cycle < self.start_cycle:
             return
         if self.kinds is not None and event.kind not in self.kinds:
+            return
+        if self.truncated:
+            self.dropped += 1
             return
         self.events.append(event)
         if len(self.events) >= self.max_events:

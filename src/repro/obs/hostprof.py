@@ -77,6 +77,17 @@ class PhaseProfiler:
             mine.wall_s += pt.wall_s
             mine.calls += pt.calls
 
+    def merge_dict(self, phases: Dict[str, Dict[str, object]]) -> None:
+        """Fold an :meth:`as_dict` dump (e.g. shipped back from a worker
+        process) into this profiler."""
+        for name, fields in phases.items():
+            mine = self.phases.get(name)
+            if mine is None:
+                mine = self.phases[name] = PhaseTiming(name)
+                self._order.append(name)
+            mine.wall_s += float(fields["wall_s"])
+            mine.calls += int(fields["calls"])
+
     def report(self) -> str:
         """Human-readable phase breakdown."""
         total = self.total_wall_s

@@ -27,19 +27,24 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..timing.stats import RunResult
+    from .events import EventLog
     from .metrics import MetricsRegistry
 
 _BUCKETS = ("busy", "partly_idle", "stalled", "all_idle")
 
 
 def stall_attribution(result: "RunResult",
-                      metrics: Optional["MetricsRegistry"] = None) -> dict:
+                      metrics: Optional["MetricsRegistry"] = None,
+                      events: Optional["EventLog"] = None) -> dict:
     """Machine-readable top-down decomposition of one run.
 
     Returns a dict with ``totals`` (the Figure-4 buckets), ``fractions``,
     ``partitions`` (per-partition rows + ``residual``), ``scalar_units``
-    and, when available, ``stall_reasons``.  Raises ``ValueError`` if
-    the per-partition rows fail to reconcile with the aggregate.
+    and, when available, ``stall_reasons`` and ``event_log`` (the
+    recorded/dropped census of the backing :class:`EventLog`, so a
+    truncated log is visible in the attribution itself).  Raises
+    ``ValueError`` if the per-partition rows fail to reconcile with the
+    aggregate.
     """
     util = result.utilization
     totals = {b: getattr(util, b) for b in _BUCKETS}
@@ -108,6 +113,13 @@ def stall_attribution(result: "RunResult",
                 unit, reason = name[len("stall."):].rsplit(".", 1)
                 reasons.setdefault(unit, {})[reason] = value
         out["stall_reasons"] = reasons
+
+    if events is not None:
+        out["event_log"] = {
+            "truncated": events.truncated,
+            "recorded": len(events.events),
+            "dropped": events.dropped,
+        }
     return out
 
 
@@ -116,16 +128,28 @@ def _pct(part: int, whole: int) -> str:
 
 
 def render_stall_report(result: "RunResult",
-                        metrics: Optional["MetricsRegistry"] = None) -> str:
-    """Human-readable top-down stall-attribution report."""
-    attr = stall_attribution(result, metrics)
+                        metrics: Optional["MetricsRegistry"] = None,
+                        events: Optional["EventLog"] = None) -> str:
+    """Human-readable top-down stall-attribution report.
+
+    When a truncated :class:`EventLog` backs the run, the header calls
+    it out (with the dropped-event count) so a partial traced-stall
+    section is never mistaken for the full story.
+    """
+    attr = stall_attribution(result, metrics, events=events)
     t = attr["totals"]
     total = t["total"]
     lines = [
         f"stall attribution: {attr['program']} on {attr['config']} "
         f"({result.num_threads} threads, {attr['cycles']} cycles)",
-        f"  datapath-cycles: {total}",
     ]
+    ev = attr.get("event_log")
+    if ev and ev["truncated"]:
+        lines.append(
+            f"  WARNING: event log truncated -- {ev['recorded']} events "
+            f"recorded, {ev['dropped']} dropped; traced stall reasons "
+            f"are a lower bound")
+    lines.append(f"  datapath-cycles: {total}")
     for b in _BUCKETS:
         lines.append(f"    {b.replace('_', '-'):<11} {t[b]:>14}  "
                      f"{_pct(t[b], total)}")

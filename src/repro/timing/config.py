@@ -19,6 +19,10 @@ comparison machine of Section 7.2: two 4-way 2-way-SMT scalar units
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import re
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -184,6 +188,17 @@ class MachineConfig:
                 f"{self.name}: {num_threads} threads > {len(ordered)} contexts")
         return ordered[:num_threads]
 
+    def digest(self) -> str:
+        """Stable content digest of every machine parameter (hex SHA-256).
+
+        Used (with the program digest) to key the on-disk result cache:
+        editing any configuration field invalidates cached results.
+        """
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True,
+                             default=str)
+        return hashlib.sha256(
+            b"vlt-config-v1\0" + payload.encode("utf-8")).hexdigest()
+
     def lane_partitions(self, num_threads: int) -> List[int]:
         """Lanes assigned to each VLT thread (equal static split)."""
         if self.vu is None:
@@ -258,10 +273,24 @@ CMT = _register(MachineConfig(
     name="CMT", scalar_units=(_smt(_SU4, 2), _smt(_SU4, 2)), vu=None))
 
 
+#: lane-swept base machines (Figure 1) resolve by name too, so a run
+#: spec can reference any configuration as plain data.
+_BASE_LANES_RE = re.compile(r"^base-(\d+)lane$")
+
+
 def get_config(name: str) -> MachineConfig:
-    """Look up a named configuration (registered in :data:`CONFIGS`)."""
+    """Look up a configuration by name.
+
+    Besides the registered design-space points (:data:`CONFIGS`), the
+    lane-swept base machines named ``base-<n>lane`` (as produced by
+    :func:`base_config`) resolve here, so every configuration the
+    experiment harness sweeps is addressable as a plain string.
+    """
     try:
         return CONFIGS[name]
     except KeyError:
+        m = _BASE_LANES_RE.match(name)
+        if m and int(m.group(1)) >= 1:
+            return base_config(lanes=int(m.group(1)))
         raise KeyError(f"unknown machine configuration {name!r}; "
-                       f"known: {sorted(CONFIGS)}") from None
+                       f"known: {sorted(CONFIGS)} or 'base-<n>lane'") from None

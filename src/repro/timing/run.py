@@ -20,6 +20,7 @@ from typing import Dict, Optional, Tuple
 
 from ..functional.executor import Executor
 from ..functional.trace import ProgramTrace
+from ..functional.trace_cache import TraceCache
 from ..isa.program import Program
 from ..obs.events import EventBus, EventLog
 from ..obs.hostprof import PhaseProfiler
@@ -28,7 +29,42 @@ from .config import MachineConfig
 from .machine import run_traces
 from .stats import RunResult
 
-_trace_cache: Dict[Tuple[int, int], ProgramTrace] = {}
+#: in-process memo: (program content digest, num_threads) -> trace.
+#: Keying by content rather than ``id(program)`` is load-bearing: a
+#: garbage-collected Program's id can be reused by a *different* program,
+#: silently aliasing two programs to one trace -- and an identity key
+#: cannot back a persistent or cross-process cache at all.
+_trace_cache: Dict[Tuple[str, int], ProgramTrace] = {}
+
+#: optional on-disk cache shared across processes and invocations
+_disk_cache: Optional[TraceCache] = None
+
+#: fallback profiler used when a call site passes none (lets a sweep
+#: driver account for every trace generation in one place)
+_default_profiler: Optional[PhaseProfiler] = None
+
+
+def set_trace_cache_dir(path) -> Optional[TraceCache]:
+    """Enable (or, with ``None``, disable) the on-disk trace cache.
+
+    Returns the active :class:`TraceCache`.  The disk cache is keyed by
+    program content digest, so it is shared safely between concurrent
+    worker processes and survives across ``vlt-repro`` invocations.
+    """
+    global _disk_cache
+    _disk_cache = None if path is None else TraceCache(path)
+    return _disk_cache
+
+
+def get_trace_cache() -> Optional[TraceCache]:
+    """The active on-disk trace cache, if any."""
+    return _disk_cache
+
+
+def set_default_profiler(profiler: Optional[PhaseProfiler]) -> None:
+    """Install a fallback :class:`PhaseProfiler` for unprofiled calls."""
+    global _default_profiler
+    _default_profiler = profiler
 
 
 def trace_for(program: Program, num_threads: int,
@@ -36,14 +72,28 @@ def trace_for(program: Program, num_threads: int,
               profiler: Optional[PhaseProfiler] = None) -> ProgramTrace:
     """Functional trace of ``program`` with ``num_threads`` (memoised).
 
-    The cache key is the program object's identity -- workload builders
-    construct a fresh Program per parameter set, so identity is the right
-    equality here.
+    The cache key is the program's *content digest*
+    (:meth:`~repro.isa.program.Program.digest`), so two structurally
+    identical programs share one trace, a rebuilt program hits the
+    cache, and -- when :func:`set_trace_cache_dir` enabled one -- traces
+    are also served from / stored to the on-disk cache.
     """
-    key = (id(program), num_threads)
+    if profiler is None:
+        profiler = _default_profiler
+    key = (program.digest(), num_threads)
     cached = _trace_cache.get(key)
     if cached is not None:
         return cached
+    disk = _disk_cache
+    if disk is not None:
+        if profiler is None:
+            trace = disk.load_trace(key[0], num_threads)
+        else:
+            with profiler.phase("trace_cache_load"):
+                trace = disk.load_trace(key[0], num_threads)
+        if trace is not None:
+            _trace_cache[key] = trace
+            return trace
     ex = Executor(program, num_threads=num_threads, record_trace=True,
                   max_ops=max_ops)
     if profiler is None:
@@ -52,11 +102,22 @@ def trace_for(program: Program, num_threads: int,
         with profiler.phase("trace_generation"):
             trace = ex.run()
     _trace_cache[key] = trace
+    if disk is not None:
+        if profiler is None:
+            disk.store_trace(key[0], num_threads, trace)
+        else:
+            with profiler.phase("trace_cache_store"):
+                disk.store_trace(key[0], num_threads, trace)
     return trace
 
 
 def clear_trace_cache() -> None:
-    """Drop memoised functional traces (tests / memory hygiene)."""
+    """Drop memoised functional traces (tests / memory hygiene).
+
+    Only the in-process memo is dropped; an on-disk cache enabled via
+    :func:`set_trace_cache_dir` keeps its entries (use
+    :meth:`TraceCache.clear` for that).
+    """
     _trace_cache.clear()
 
 
@@ -71,6 +132,8 @@ def simulate(program: Program, cfg: MachineConfig, num_threads: int = 1,
     ``profiler`` records host-side wall time per simulation phase.
     Neither affects simulated cycle counts.
     """
+    if profiler is None:
+        profiler = _default_profiler
     if trace is None:
         trace = trace_for(program, num_threads, profiler=profiler)
     elif trace.num_threads != num_threads:

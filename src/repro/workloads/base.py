@@ -57,16 +57,17 @@ class Workload(abc.ABC):
     # -- provided -------------------------------------------------------------
 
     def program(self, scalar_only: bool = False) -> Program:
-        """Cached program instance (identity matters for trace memoising)."""
-        if scalar_only not in self._cache:
-            if scalar_only and self.vectorizable is False:
-                # scalar apps have a single flavour
-                scalar_flavour = self._cache.get(False)
-                if scalar_flavour is not None:
-                    self._cache[True] = scalar_flavour
-                    return scalar_flavour
-            self._cache[scalar_only] = self.build(scalar_only=scalar_only)
-        return self._cache[scalar_only]
+        """Cached program instance for the requested flavour.
+
+        Non-vectorizable apps have a single flavour (``build`` ignores
+        ``scalar_only``), so the cache key is canonicalised to ``False``
+        for them: both flavours alias one Program regardless of which
+        was requested first.
+        """
+        key = scalar_only and self.vectorizable
+        if key not in self._cache:
+            self._cache[key] = self.build(scalar_only=scalar_only)
+        return self._cache[key]
 
     def run_and_verify(self, num_threads: int = 1,
                        scalar_only: bool = False) -> Executor:

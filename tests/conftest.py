@@ -59,7 +59,7 @@ def builder() -> ProgramBuilder:
 
 @pytest.fixture(autouse=True)
 def _fresh_trace_cache():
-    """Trace memoisation keys on program identity; keep tests hermetic."""
+    """Drop content-digest-keyed trace memos between tests (hermetic)."""
     from repro.timing import clear_trace_cache
     clear_trace_cache()
     yield

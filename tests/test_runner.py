@@ -1,0 +1,145 @@
+"""The parallel experiment runner: equivalence, caching, fault capture."""
+
+import os
+
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness.runner import (ExperimentRunner, MissingRunError, RunSpec)
+from repro.timing.config import V2_CMP
+from repro.timing.run import set_trace_cache_dir
+
+_SPECS = [RunSpec("mpenc", "base", 1),
+          RunSpec("mpenc", "V2-CMP", 2),
+          RunSpec("mpenc", "V4-CMP", 4)]
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache():
+    set_trace_cache_dir(None)
+    yield
+    set_trace_cache_dir(None)
+
+
+def _cycles(outcomes):
+    return {s: o.result.cycles for s, o in outcomes.items() if o.ok}
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = _cycles(ExperimentRunner(jobs=1).run(_SPECS))
+        parallel = _cycles(ExperimentRunner(
+            jobs=2, cache_dir=tmp_path).run(_SPECS))
+        assert serial == parallel
+        assert len(serial) == len(_SPECS)
+
+    def test_warm_rerun_served_from_result_cache(self, tmp_path):
+        first = ExperimentRunner(jobs=2, cache_dir=tmp_path)
+        first.run(_SPECS)
+        warm = ExperimentRunner(jobs=2, cache_dir=tmp_path)
+        out = warm.run(_SPECS)
+        assert all(o.result_cached for o in out.values())
+        # zero trace regenerations, by the merged phase profile
+        gen = warm.profiler.phases.get("trace_generation")
+        assert gen is None or gen.calls == 0
+        assert _cycles(out) == _cycles(first.outcomes)
+
+    def test_duplicate_specs_deduped(self):
+        r = ExperimentRunner(jobs=1)
+        out = r.run([_SPECS[0], _SPECS[0], _SPECS[0]])
+        assert len(out) == 1
+        assert out[_SPECS[0]].ok
+
+    def test_lane_swept_config_resolves_by_name(self):
+        r = ExperimentRunner(jobs=1)
+        out = r.run([RunSpec("mpenc", "base-2lane", 1)])
+        assert out[RunSpec("mpenc", "base-2lane", 1)].ok
+
+
+class TestFailureCapture:
+    def test_bad_app_is_structured_failure(self):
+        r = ExperimentRunner(jobs=1, retries=1)
+        out = r.run([RunSpec("nosuchapp", "base", 1), _SPECS[0]])
+        bad = out[RunSpec("nosuchapp", "base", 1)]
+        assert not bad.ok
+        assert bad.failure.error_type == "KeyError"
+        assert bad.failure.attempts == 2   # initial + 1 retry
+        assert "nosuchapp" in bad.failure.message
+        assert bad.failure.traceback
+        assert out[_SPECS[0]].ok   # the healthy spec still ran
+        assert "FAILED" in r.report()
+
+    def test_timeout_is_captured(self):
+        # 1ms: no run can build + simulate inside it, so the alarm
+        # always fires (mxm end-to-end is ~30ms, close enough to 50ms
+        # that a larger timeout is flaky on a fast machine)
+        r = ExperimentRunner(jobs=1, retries=0, timeout=0.001)
+        out = r.run([RunSpec("mxm", "base", 1)])
+        f = out[RunSpec("mxm", "base", 1)].failure
+        assert f is not None
+        assert f.error_type == "RunTimeout"
+
+    def test_worker_crash_quarantined(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("VLT_RUNNER_TEST_CRASH", "mpenc:V2-CMP")
+        r = ExperimentRunner(jobs=2, cache_dir=tmp_path, retries=1)
+        out = r.run(_SPECS)
+        crashed = out[RunSpec("mpenc", "V2-CMP", 2)]
+        assert not crashed.ok
+        assert crashed.failure.error_type == "WorkerCrash"
+        survivors = [s for s, o in out.items() if o.ok]
+        assert len(survivors) == 2   # one bad config cannot kill the sweep
+        # and the survivors' numbers match the serial reference
+        monkeypatch.delenv("VLT_RUNNER_TEST_CRASH")
+        serial = _cycles(ExperimentRunner(jobs=1).run(survivors))
+        assert serial == {s: out[s].result.cycles for s in survivors}
+
+
+class TestDriverIntegration:
+    def test_driver_consumes_run_map(self):
+        out = ExperimentRunner(jobs=1).run(E.fig3_matrix(("mpenc",)))
+        runs = {s: o.result for s, o in out.items()}
+        via_map = E.fig3_vlt_speedup(("mpenc",), runs=runs)
+        inline = E.fig3_vlt_speedup(("mpenc",))
+        assert via_map.cycles == inline.cycles
+
+    def test_missing_run_raises(self):
+        with pytest.raises(MissingRunError) as exc:
+            E.fig3_vlt_speedup(("mpenc",), runs={})
+        assert exc.value.spec.app == "mpenc"
+
+    def test_matrix_for_dedupes_shared_base_runs(self):
+        specs = E.matrix_for(["fig3", "fig5"], apps=["mpenc"])
+        base = [s for s in specs if s.config == "base" and s.threads == 1]
+        assert len(base) == 1   # fig3 and fig5 share the base run
+        assert len(specs) == len(set(specs))
+
+    def test_matrix_covers_all_nine_apps(self):
+        specs = E.matrix_for(["fig1", "fig3", "fig4", "fig5", "fig6"])
+        assert {s.app for s in specs} == set(E.ALL_APPS)
+
+    def test_fig6_specs_are_scalar_only(self):
+        assert all(s.scalar_only for s in E.fig6_matrix())
+
+
+class TestWorkloadFlavourAliasing:
+    """Regression: Workload.program() was order-dependent for
+    non-vectorizable apps (the scalar_only=True flavour only aliased the
+    base one if the base was built first)."""
+
+    @pytest.mark.parametrize("app", ["barnes", "ocean"])
+    @pytest.mark.parametrize("first", [False, True])
+    def test_non_vectorizable_order_independent(self, app, first):
+        from repro.workloads.base import _REGISTRY
+        w = _REGISTRY[app]()   # fresh instance: order under our control
+        assert w.vectorizable is False
+        a = w.program(scalar_only=first)
+        b = w.program(scalar_only=not first)
+        assert a is b   # one flavour, whichever order was requested
+
+    def test_vectorizable_flavours_distinct(self):
+        from repro.workloads import get_workload
+        w = get_workload("radix")   # radix has a real scalar flavour
+        vec = w.program(scalar_only=False)
+        sca = w.program(scalar_only=True)
+        assert vec is not sca
+        assert vec.digest() != sca.digest()
