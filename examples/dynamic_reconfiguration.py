@@ -26,6 +26,12 @@ def program(phase_a_partitions: int):
     return assemble(f"""
     .program phased
     tid s1
+    li s2, 64                       # define the vector inputs once
+    setvl s3, s2
+    fli f1, 1.5
+    fli f2, 0.25
+    vfmv.s v2, f1
+    vfmv.s v3, f2
     vltcfg {phase_a_partitions}     # phase A partitioning
     bne s1, s0, skip_a              # phase A runs on thread 0 only
     li s10, 0

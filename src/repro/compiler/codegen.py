@@ -711,6 +711,19 @@ class CodeGen:
 
 
 def compile_kernel(kernel: Kernel,
-                   options: Optional[CompileOptions] = None) -> Program:
-    """Compile a loop-nest kernel to a finalized VLT ISA program."""
-    return CodeGen(kernel, options or CompileOptions()).compile()
+                   options: Optional[CompileOptions] = None,
+                   verify: bool = True) -> Program:
+    """Compile a loop-nest kernel to a finalized VLT ISA program.
+
+    Every emitted program is gated through the static verifier
+    (:func:`repro.verify.check`) -- a codegen bug that reads an
+    undefined register, escapes the data image, or drops a ``halt``
+    raises :class:`repro.verify.LintError` here instead of corrupting a
+    downstream experiment.  ``verify=False`` skips the gate (linting a
+    deliberately-broken program, compiler-internal tooling).
+    """
+    prog = CodeGen(kernel, options or CompileOptions()).compile()
+    if verify:
+        from ..verify import check  # deferred: verify imports timing
+        check(prog)
+    return prog

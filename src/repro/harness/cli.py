@@ -17,8 +17,17 @@ Usage::
                                                     # cycle-identity check
     vlt-repro cache stats --cache-dir ~/.vlt-cache  # cache census
     vlt-repro cache clear --cache-dir ~/.vlt-cache
+    vlt-repro lint                                  # static verifier over
+                                                    # workloads + examples
+    vlt-repro lint prog.s                           # lint an assembly file
+    vlt-repro diff                                  # functional-vs-timing
+                                                    # check, fig3/5/6 matrix
+    vlt-repro diff mxm --config base --threads 2    # one differential run
+    vlt-repro fig3 --verify --jobs 4                # differentially
+                                                    # validated experiments
 
-See docs/harness.md for the parallel runner and cache design.
+See docs/harness.md for the parallel runner and cache design, and
+docs/verification.md for the lint rules and the differential checker.
 """
 
 from __future__ import annotations
@@ -28,13 +37,19 @@ import dataclasses
 import json
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from . import experiments as E
 from . import report as R
 
 EXPERIMENT_NAMES = ["table1", "table2", "table3", "table4",
                     "fig1", "fig3", "fig4", "fig5", "fig6"]
+
+#: every verb the CLI accepts in argv[1] position; the repo-consistency
+#: test asserts each one is documented somewhere under docs/ or README
+CLI_VERBS = tuple(EXPERIMENT_NAMES) + (
+    "all", "verify", "mix", "run", "trace", "profile", "determinism",
+    "cache", "lint", "diff")
 
 
 def verify_workloads(apps: Optional[List[str]] = None) -> str:
@@ -214,6 +229,141 @@ def check_determinism(app: str = "mxm", config: str = "base",
             f"({detail})")
 
 
+def _example_programs():
+    """Yield ``(label, Program)`` for every program the examples build.
+
+    The adapter table below names each example's program constructors;
+    it is what lets ``vlt-repro lint`` (and the CI ``lint-programs``
+    job) cover hand-written demo assembly that never flows through the
+    workload registry.  Missing examples/ (installed package) yields
+    nothing.
+    """
+    import importlib
+    from pathlib import Path
+    ex_dir = Path(__file__).resolve().parents[3] / "examples"
+    if not ex_dir.is_dir():
+        return
+    sys.path.insert(0, str(ex_dir))
+    try:
+        from ..isa.assembler import assemble
+        quickstart = importlib.import_module("quickstart")
+        yield "examples/quickstart", assemble(quickstart.SRC,
+                                              name="quickstart")
+        tradeoff = importlib.import_module("compiler_tradeoff")
+        for policy in ("maxvl", "unitstride", "innermost"):
+            for threads in (False, True):
+                prog, _ = tradeoff.build(policy, threads=threads)
+                yield (f"examples/compiler_tradeoff[{policy}"
+                       f"{',threads' if threads else ''}]", prog)
+        reconf = importlib.import_module("dynamic_reconfiguration")
+        for parts in (1, 4):
+            yield (f"examples/dynamic_reconfiguration[{parts}]",
+                   reconf.program(parts))
+        shortvec = importlib.import_module("vlt_short_vectors")
+        yield "examples/vlt_short_vectors", shortvec.build_program()[0]
+    finally:
+        sys.path.remove(str(ex_dir))
+
+
+def lint_programs(apps: Optional[List[str]] = None,
+                  paths: Optional[List[str]] = None,
+                  examples: bool = True) -> Tuple[str, int]:
+    """Static-verify programs; returns (report, total finding count).
+
+    With ``paths`` (assembly files), lints exactly those.  Otherwise
+    lints every workload program -- both flavours where the workload
+    has two -- plus (with ``examples``) each program the examples/
+    directory builds.
+    """
+    from ..isa.assembler import assemble
+    from ..verify import lint
+    from ..workloads import all_workload_names, get_workload
+
+    programs: List[Tuple[str, object]] = []
+    if paths:
+        for path in paths:
+            with open(path) as fh:
+                src = fh.read()
+            programs.append((path, assemble(src, name=path)))
+    else:
+        for name in (apps or all_workload_names()):
+            w = get_workload(name)
+            seen_digests = set()
+            for so in (False, True):
+                try:
+                    prog = w.build(scalar_only=so)
+                except ValueError:
+                    continue  # long-vector app without a scalar flavour
+                if prog.digest() in seen_digests:
+                    continue  # flavours alias for non-vectorizable apps
+                seen_digests.add(prog.digest())
+                flavour = "scalar" if so else "vector"
+                programs.append((f"{name}/{flavour}", prog))
+        if examples:
+            programs.extend(_example_programs())
+
+    rows = []
+    details: List[str] = []
+    total = 0
+    for label, prog in programs:
+        findings = lint(prog)
+        total += len(findings)
+        errors = sum(1 for f in findings if f.severity == "error")
+        status = "OK" if not findings else (
+            f"{errors} error(s), {len(findings) - errors} warning(s)")
+        rows.append((label, len(prog.instrs), status))
+        details.extend("  " + f.render(label) for f in findings)
+    text = R.table(["program", "instrs", "lint"], rows,
+                   f"Static verification ({len(programs)} programs, "
+                   f"{total} findings)")
+    if details:
+        text += "\n" + "\n".join(details)
+    return text, total
+
+
+def diff_runs(app: Optional[str] = None, config: str = "base",
+              threads: int = 1, scalar_only: bool = False,
+              apps: Optional[List[str]] = None) -> Tuple[str, int]:
+    """Differentially validate runs; returns (report, mismatch count).
+
+    With ``app``, checks that single (app, config, threads) run.
+    Without, sweeps the full Figure-3/5/6 run matrix -- every
+    (app x config x threads) point behind the paper's headline
+    figures -- proving the timing machine replays exactly what the
+    functional executor computed.
+    """
+    from ..harness.runner import RunSpec
+    from ..timing.config import get_config
+    from ..verify import differential_check
+    from ..workloads import get_workload
+
+    if app is not None:
+        specs = [RunSpec(app, get_config(config).name, threads,
+                         scalar_only=scalar_only)]
+    else:
+        specs = E.matrix_for(["fig3", "fig5", "fig6"], apps=apps)
+    rows = []
+    details: List[str] = []
+    bad = 0
+    for spec in specs:
+        prog = get_workload(spec.app).program(scalar_only=spec.scalar_only)
+        report = differential_check(prog, get_config(spec.config),
+                                    num_threads=spec.threads)
+        if report.ok:
+            status = f"OK ({report.ops_checked} ops, {report.cycles} cyc)"
+        else:
+            bad += len(report.mismatches)
+            status = f"{len(report.mismatches)} MISMATCH(ES)"
+            details.append(report.render())
+        rows.append((str(spec), status))
+    text = R.table(["run", "functional vs timing"], rows,
+                   f"Differential validation ({len(specs)} runs, "
+                   f"{bad} mismatches)")
+    if details:
+        text += "\n" + "\n".join(details)
+    return text, bad
+
+
 def run_experiment_data(name: str, apps: Optional[List[str]] = None,
                         lanes: Optional[List[int]] = None,
                         runs: "E.RunMap" = None) -> Any:
@@ -315,7 +465,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--retries", type=int, default=2,
                         help="extra attempts after a run fails "
                              "(runner path only)")
+    parser.add_argument("--verify", action="store_true",
+                        help="differentially validate every experiment "
+                             "run against the functional executor "
+                             "(runner path; see docs/verification.md)")
     args = parser.parse_args(argv)
+
+    if args.experiments[0] == "lint":
+        apps = args.apps.split(",") if args.apps else None
+        paths = args.experiments[1:] or None
+        text, findings = lint_programs(apps=apps, paths=paths)
+        print(text)
+        return 1 if findings else 0
+
+    if args.experiments[0] == "diff":
+        if len(args.experiments) > 2:
+            parser.error("usage: vlt-repro diff [app] [--config C] "
+                         "[--threads N] [--scalar-only] [--apps a,b]")
+        app = args.experiments[1] if len(args.experiments) == 2 else None
+        apps = args.apps.split(",") if args.apps else None
+        text, mismatches = diff_runs(app, config=args.config,
+                                     threads=args.threads,
+                                     scalar_only=args.scalar_only,
+                                     apps=apps)
+        print(text)
+        return 1 if mismatches else 0
 
     if args.experiments[0] == "cache":
         if len(args.experiments) != 2 or \
@@ -383,7 +557,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     runs = None
     failures = None
     runner = None
-    if args.jobs > 1 or args.cache_dir or args.timeout:
+    if args.jobs > 1 or args.cache_dir or args.timeout or args.verify:
         from ..timing.run import set_default_profiler, set_trace_cache_dir
         from .runner import ExperimentRunner
         specs = E.matrix_for(names, apps=apps, lanes=lanes)
@@ -398,7 +572,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             specs = specs + [s for s in doc_specs if s not in have]
         runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir,
                                   timeout=args.timeout,
-                                  retries=args.retries)
+                                  retries=args.retries,
+                                  verify=args.verify)
         if args.cache_dir:
             set_trace_cache_dir(args.cache_dir)
         # parent-side runs (table4, doc extensions) count in one profile

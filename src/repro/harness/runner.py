@@ -152,13 +152,21 @@ def _worker_init(cache_dir: Optional[str]) -> None:
 
 
 def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
-                  max_cycles: int) -> Dict[str, object]:
+                  max_cycles: int,
+                  verify: bool = False) -> Dict[str, object]:
     """Execute one spec; never raises (failures come back as data).
 
     Runs in a worker process (or inline for ``jobs=1``).  The payload is
     either ``{"result": RunResult, ...}`` or ``{"error": {...}, ...}``;
     both carry the phase profile and wall time so the parent can merge
     host-side accounting even for failed runs.
+
+    ``verify=True`` additionally replays the run through the
+    functional/timing differential checker
+    (:func:`repro.verify.differential_check`); a mismatch surfaces as a
+    structured ``DifferentialMismatch`` failure.  Verified runs skip
+    the result-cache fast path -- a cached number is exactly what an
+    unvalidated bug would hide behind.
     """
     from ..timing.run import simulate
     from ..workloads import get_workload
@@ -182,12 +190,21 @@ def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
                                  spec.threads, max_cycles)
                 with prof.phase("result_cache_load"):
                     hit = cache.load_result(key)
-                if hit is not None:
+                if hit is not None and not verify:
                     return {"result": hit, "result_cached": True,
                             "phases": prof.as_dict(),
                             "wall_s": time.perf_counter() - t0}
             result = simulate(prog, cfg, num_threads=spec.threads,
                               max_cycles=max_cycles, profiler=prof)
+            if verify:
+                from ..verify.diff import (DifferentialMismatch,
+                                           differential_check)
+                with prof.phase("differential_check"):
+                    report = differential_check(
+                        prog, cfg, num_threads=spec.threads,
+                        max_cycles=max_cycles)
+                if not report.ok:
+                    raise DifferentialMismatch(report)
             if cache is not None:
                 with prof.phase("result_cache_store"):
                     cache.store_result(key, result)
@@ -225,7 +242,8 @@ class ExperimentRunner:
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  timeout: Optional[float] = None, retries: int = 2,
-                 max_cycles: int = DEFAULT_MAX_CYCLES) -> None:
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 verify: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
@@ -235,6 +253,9 @@ class ExperimentRunner:
         self.timeout = timeout
         self.retries = retries
         self.max_cycles = max_cycles
+        #: differentially validate every run (functional vs timing); a
+        #: mismatch is a structured, non-retryable failure
+        self.verify = verify
         #: merged host-side phase profile across all workers + parent
         self.profiler = PhaseProfiler()
         self.outcomes: Dict[RunSpec, RunOutcome] = {}
@@ -313,11 +334,21 @@ class ExperimentRunner:
                 message="worker process died (killed or crashed) while "
                         "executing this run", attempts=attempts))
 
+    @staticmethod
+    def _retryable(payload: Dict[str, object]) -> bool:
+        """Differential mismatches are deterministic; retrying burns
+        attempts without new information."""
+        err = payload.get("error")
+        return not (isinstance(err, dict)
+                    and err.get("type") == "DifferentialMismatch")
+
     def _run_serial(self, specs: Sequence[RunSpec]) -> None:
         for spec in specs:
             for attempt in range(1, self.retries + 2):
-                payload = _execute_spec(spec, self.timeout, self.max_cycles)
-                if self._record(spec, payload, attempt):
+                payload = _execute_spec(spec, self.timeout, self.max_cycles,
+                                        self.verify)
+                if self._record(spec, payload, attempt) \
+                        or not self._retryable(payload):
                     break
 
     def _run_parallel(self, specs: Sequence[RunSpec],
@@ -351,7 +382,8 @@ class ExperimentRunner:
                     initializer=_worker_init,
                     initargs=(cache_dir,)) as pool:
                 futs = {pool.submit(_execute_spec, s, self.timeout,
-                                    self.max_cycles): s for s in specs}
+                                    self.max_cycles, self.verify): s
+                        for s in specs}
                 not_done = set(futs)
                 while not_done:
                     done, not_done = wait(not_done,
@@ -369,7 +401,8 @@ class ExperimentRunner:
                         else:
                             payload = fut.result()
                         ok = (payload.get("error") is None)
-                        if ok or attempts > self.retries:
+                        if ok or attempts > self.retries \
+                                or not self._retryable(payload):
                             self._record(spec, payload, attempts)
                             del pending[spec]
                         else:
@@ -396,11 +429,13 @@ class ExperimentRunner:
                         max_workers=1, initializer=_worker_init,
                         initargs=(cache_dir,)) as pool:
                     payload = pool.submit(_execute_spec, spec, self.timeout,
-                                          self.max_cycles).result()
+                                          self.max_cycles,
+                                          self.verify).result()
             except BrokenProcessPool:
                 self._record_crash(spec, attempts)
                 continue
-            if self._record(spec, payload, attempts):
+            if self._record(spec, payload, attempts) \
+                    or not self._retryable(payload):
                 return
         # the last _record/_record_crash above left the final failure
 

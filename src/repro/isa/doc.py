@@ -83,6 +83,11 @@ def isa_reference_md() -> str:
         "the timing model; vector ops additionally occupy a functional "
         "unit for `ceil(vl / lanes)` cycles.",
         "",
+        "Programs against this ISA are statically checked by the "
+        "verifier ([verification.md](verification.md)): register "
+        "use-before-def, `vl`/`vm` discipline, data-image bounds and "
+        "alignment, and control-flow integrity.",
+        "",
     ]
     assigned: Dict[str, bool] = {name: False for name in OPCODES}
     for title, pred in _SECTIONS:

@@ -30,7 +30,7 @@ from .chrome_trace import to_chrome_trace, write_chrome_trace
 from .events import (BANK_CONFLICT, BARRIER_ARRIVE, BARRIER_RELEASE,
                      CACHE_MISS, COMMIT, EVENT_KINDS, Event, EventBus,
                      EventLog, ISSUE, LANE_ISSUE, NULL_BUS, STALL,
-                     StallReason, VISSUE, VLCFG)
+                     StallReason, VERIFY, VISSUE, VLCFG)
 from .hostprof import PhaseProfiler, PhaseTiming
 from .metrics import Counter, Histogram, MetricsRegistry, MetricsSink
 from .stall_report import render_stall_report, stall_attribution
@@ -38,7 +38,8 @@ from .stall_report import render_stall_report, stall_attribution
 __all__ = [
     "BANK_CONFLICT", "BARRIER_ARRIVE", "BARRIER_RELEASE", "CACHE_MISS",
     "COMMIT", "EVENT_KINDS", "Event", "EventBus", "EventLog", "ISSUE",
-    "LANE_ISSUE", "NULL_BUS", "STALL", "StallReason", "VISSUE", "VLCFG",
+    "LANE_ISSUE", "NULL_BUS", "STALL", "StallReason", "VERIFY", "VISSUE",
+    "VLCFG",
     "PhaseProfiler", "PhaseTiming",
     "Counter", "Histogram", "MetricsRegistry", "MetricsSink",
     "to_chrome_trace", "write_chrome_trace",

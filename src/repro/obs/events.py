@@ -32,6 +32,9 @@ BANK_CONFLICT  an L2 bank transaction was delayed behind a busy bank;
             ``dur`` is the delay in cycles
 BARRIER_ARRIVE / BARRIER_RELEASE  thread barrier lifecycle
 VLCFG       a dynamic VLT repartition (``vltcfg``) took effect
+VERIFY      the program verifier reported a finding; ``arg`` is the
+            :class:`repro.verify.findings.Finding` (cycle is always 0 --
+            findings are static, not timed)
 ========== ==================================================================
 """
 
@@ -55,10 +58,11 @@ BANK_CONFLICT = "bank_conflict"
 BARRIER_ARRIVE = "barrier_arrive"
 BARRIER_RELEASE = "barrier_release"
 VLCFG = "vlcfg"
+VERIFY = "verify"
 
 EVENT_KINDS = frozenset({
     ISSUE, VISSUE, LANE_ISSUE, COMMIT, STALL, CACHE_MISS, BANK_CONFLICT,
-    BARRIER_ARRIVE, BARRIER_RELEASE, VLCFG})
+    BARRIER_ARRIVE, BARRIER_RELEASE, VLCFG, VERIFY})
 
 
 class StallReason(enum.Enum):

@@ -1,0 +1,30 @@
+"""Program verification: static lint rules, functional/timing
+differential checking, and mismatch shrinking.
+
+Three layers, from cheapest to most thorough:
+
+* :func:`lint` / :func:`check` -- static analysis over a finalized
+  :class:`~repro.isa.program.Program` (no execution).  ``check`` raises
+  :class:`LintError` on error-severity findings and is invoked
+  automatically on every compiler-emitted and workload program.
+* :func:`differential_check` -- replays a timing run against the
+  functional executor and diffs final architectural state plus the
+  committed-op streams.
+* :func:`shrink_program` -- greedy delta-debugging reducer that
+  minimizes any mismatching program to a small repro.
+
+See ``docs/verification.md`` for the rule catalogue and workflow.
+"""
+
+from .findings import ERROR, Finding, LintError, RULES, WARNING, severity_of
+from .lint import check, emit_findings, lint
+from .diff import (DifferentialMismatch, DiffReport, Mismatch,
+                   differential_check)
+from .shrink import shrink_on_diff, shrink_program
+
+__all__ = [
+    "ERROR", "WARNING", "RULES", "Finding", "LintError", "severity_of",
+    "lint", "check", "emit_findings",
+    "DifferentialMismatch", "DiffReport", "Mismatch", "differential_check",
+    "shrink_program", "shrink_on_diff",
+]

@@ -1,0 +1,108 @@
+"""Finding model and rule registry for the program verifier.
+
+Every check the static linter (:mod:`repro.verify.lint`) performs is a
+named *rule* with a stable kebab-case id.  A rule that fires produces a
+:class:`Finding` anchored to a program counter.  Rule ids are the public
+contract: tests assert on them, ``docs/verification.md`` documents each
+one with a minimal failing example, and the bad-program corpus under
+``tests/data/bad_programs/`` names its files after them.
+
+Severities
+----------
+
+``error``
+    The program is wrong: executing it reads garbage, faults, or falls
+    off the end of the instruction stream.  :func:`repro.verify.check`
+    raises on these, which is how compiler-emitted and workload
+    programs are gated automatically.
+``warning``
+    Suspicious but executable (dead code, a ``setvl`` request that is
+    statically negative and therefore clamps to zero).  Reported by
+    ``vlt-repro lint`` but never fatal in the automatic hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+ERROR = "error"
+WARNING = "warning"
+
+#: rule id -> (severity, one-line description).  The single source of
+#: truth -- docs and tests cross-check against this table.
+RULES: Dict[str, tuple] = {
+    "use-before-def": (
+        ERROR,
+        "a register is read on some path before any instruction writes it"),
+    "mask-unset": (
+        ERROR,
+        "a masked / mask-consuming op executes before any vector compare "
+        "has written vm"),
+    "vl-unset": (
+        WARNING,
+        "a vector memory op is reachable before any setvl -- it would run "
+        "at the architectural default vl=MVL"),
+    "mem-oob": (
+        ERROR,
+        "a statically-resolvable memory access escapes the program's data "
+        "image"),
+    "mem-misaligned": (
+        ERROR,
+        "a statically-resolvable memory access is not 8-byte aligned"),
+    "element-index-oob": (
+        ERROR,
+        "a vector element insert/extract uses a statically-known index "
+        "outside [0, MVL)"),
+    "setvl-negative": (
+        WARNING,
+        "setvl with a statically-known negative request (clamps to vl=0, "
+        "making every vector op a no-op)"),
+    "bad-vltcfg": (
+        ERROR,
+        "vltcfg with a missing, negative, or > MVL partition request"),
+    "unreachable-code": (
+        WARNING,
+        "instructions that no path from pc 0 can reach"),
+    "fall-off-end": (
+        ERROR,
+        "an execution path falls through past the last instruction "
+        "without reaching halt"),
+}
+
+
+def severity_of(rule: str) -> str:
+    """Severity for a rule id (raises KeyError on unknown rules)."""
+    return RULES[rule][0]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier diagnostic, anchored to a program counter."""
+
+    rule: str        #: rule id from :data:`RULES`
+    severity: str    #: :data:`ERROR` or :data:`WARNING`
+    pc: int          #: program counter the finding anchors to (-1: whole program)
+    message: str     #: human-readable detail
+
+    def render(self, program_name: str = "") -> str:
+        where = f"pc {self.pc}" if self.pc >= 0 else "program"
+        prefix = f"{program_name}: " if program_name else ""
+        return f"{prefix}{where}: {self.severity} [{self.rule}] {self.message}"
+
+
+class LintError(ValueError):
+    """Raised by :func:`repro.verify.check` when error-severity findings
+    exist; carries the full finding list."""
+
+    def __init__(self, program_name: str, findings: List[Finding]):
+        self.program_name = program_name
+        self.findings = findings
+        errors = [f for f in findings if f.severity == ERROR]
+        lines = [f.render(program_name) for f in errors[:10]]
+        more = len(errors) - len(lines)
+        if more > 0:
+            lines.append(f"... and {more} more")
+        super().__init__(
+            f"program {program_name!r} failed verification with "
+            f"{len(errors)} error(s):\n  " + "\n  ".join(lines))

@@ -1,0 +1,337 @@
+"""Static analysis over finalized :class:`~repro.isa.program.Program`s.
+
+The linter runs two forward dataflow analyses over the instruction-level
+control-flow graph (basic blocks buy nothing at these program sizes):
+
+* a *may-be-undefined* bitset over the dense register-uid space
+  (:data:`~repro.isa.registers.NUM_REG_UIDS` bits, one Python int per
+  program point, union at joins) driving ``use-before-def``,
+  ``mask-unset`` and ``vl-unset``;
+* a *constant propagation* lattice over scalar registers and ``vl``
+  (known-int or unknown, intersection at joins) driving the memory
+  range/alignment rules, ``setvl-negative``, ``bad-vltcfg`` and
+  ``element-index-oob``.
+
+Both run to a joint fixpoint, then a single reporting pass walks the
+reachable instructions with their final entry states.  The memory rules
+only fire when every involved quantity (base, offset, vl, stride) is
+statically known -- the linter is precise-or-silent, never guessing, so
+a clean report is meaningful and a finding is always real.
+
+Control flow is resolved exactly for direct branches; the (unused in
+practice) indirect ``jr`` is handled conservatively by treating every
+label as a possible target.  ``s0`` is hard-wired zero and therefore
+both always-defined and always-constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..functional.executor import _INT_BIN, _INT_IMM
+from ..isa.program import Instr, Program
+from ..isa.registers import (MVL, NUM_REG_UIDS, VL_UID, VM_UID, reg_name,
+                             reg_uid)
+from .findings import ERROR, Finding, LintError, WARNING, severity_of
+
+_MOD = 1 << 64
+_HALF = 1 << 63
+
+#: every uid except s0 starts maybe-undefined (vm and vl included; the
+#: reporting pass decides which rule a read of them falls under)
+_ENTRY_UNDEF = ((1 << NUM_REG_UIDS) - 1) & ~1
+
+
+def _wrap64(v: int) -> int:
+    """Two's-complement 64-bit wrap, matching ThreadState.write_s."""
+    return ((v + _HALF) % _MOD) - _HALF
+
+
+def _uid_name(uid: int) -> str:
+    if uid == VM_UID:
+        return "vm"
+    if uid == VL_UID:
+        return "vl"
+    if uid >= 64:
+        return f"v{uid - 64}"
+    if uid >= 32:
+        return f"f{uid - 32}"
+    return f"s{uid}"
+
+
+def _successors(ins: Instr, n: int, label_pcs: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Possible next pcs; ``n`` (one past the end) models falling off."""
+    s = ins.spec
+    if s.is_halt:
+        return ()
+    if s.is_branch:
+        if ins.op == "jr":
+            return label_pcs  # indirect: any label (conservative)
+        succ = []
+        if isinstance(ins.target, int):
+            succ.append(ins.target)
+        if not s.is_uncond:
+            succ.append(ins.pc + 1)
+        return tuple(succ)
+    return (ins.pc + 1,)
+
+
+def _merge_consts(a: Dict[int, int], b: Dict[int, int]) -> Dict[int, int]:
+    if a is b:
+        return a
+    small, big = (a, b) if len(a) <= len(b) else (b, a)
+    return {k: v for k, v in small.items() if big.get(k) == v}
+
+
+def _transfer_consts(ins: Instr, consts: Dict[int, int]) -> Dict[int, int]:
+    """Constant-propagation transfer function (scalar regs + vl only)."""
+    s = ins.spec
+    out = consts
+    changed = False
+
+    def _set(uid: int, val: Optional[int]):
+        nonlocal out, changed
+        if uid == 0:
+            return  # s0 writes are discarded
+        if not changed:
+            out = dict(out)
+            changed = True
+        if val is None:
+            out.pop(uid, None)
+        else:
+            out[uid] = val
+
+    if s.writes_vl:  # setvl
+        req = consts.get(reg_uid(ins.srcs[0])) if ins.srcs else None
+        vl = None if req is None else min(max(req, 0), MVL)
+        _set(VL_UID, vl)
+        if ins.dst is not None:
+            _set(reg_uid(ins.dst), vl)
+        return out
+
+    if ins.dst is not None and ins.dst[0] == "s":
+        uid = reg_uid(ins.dst)
+        val: Optional[int] = None
+        if ins.op == "li":
+            val = _wrap64(int(ins.imm))
+        elif ins.op in _INT_BIN and len(ins.srcs) == 2:
+            a = consts.get(reg_uid(ins.srcs[0]))
+            b = consts.get(reg_uid(ins.srcs[1]))
+            if a is not None and b is not None:
+                try:
+                    val = _wrap64(_INT_BIN[ins.op](a, b))
+                except ZeroDivisionError:
+                    val = None
+        elif ins.op in _INT_IMM and len(ins.srcs) == 1:
+            a = consts.get(reg_uid(ins.srcs[0]))
+            if a is not None:
+                try:
+                    val = _wrap64(_INT_BIN[_INT_IMM[ins.op]](a, int(ins.imm)))
+                except ZeroDivisionError:
+                    val = None
+        _set(uid, val)
+        return out
+
+    # any other write to a tracked register kills its constant
+    for reg in ins.writes():
+        if reg[0] == "s" or reg == ("vl", 0):
+            uid = reg_uid(reg)
+            if uid in out:
+                _set(uid, None)
+    return out
+
+
+def _mem_findings(ins: Instr, consts: Dict[int, int],
+                  memory_bytes: int) -> List[Finding]:
+    """Range/alignment checks for one memory op, when statically known."""
+    if ins.mem is None or ins.masked:
+        # a masked access only touches active elements; without knowing
+        # the mask value no element is provably accessed
+        return []
+    s = ins.spec
+    off, base = ins.mem
+    bv = consts.get(reg_uid(base))
+    if bv is None:
+        return []
+    addr = bv + off
+    if s.is_vector:
+        vl = consts.get(VL_UID)
+        if vl is None or vl == 0 or s.mem_indexed:
+            return []
+        if s.mem_stride:
+            sv = consts.get(reg_uid(ins.stride))
+            if sv is None:
+                return []
+            lo = addr + min(0, sv * (vl - 1))
+            hi = addr + max(0, sv * (vl - 1))
+            misaligned = bool(addr % 8) or (vl > 1 and bool(sv % 8))
+            what = f"strided access base {addr} stride {sv} vl {vl}"
+        else:
+            lo, hi = addr, addr + 8 * (vl - 1)
+            misaligned = bool(addr % 8)
+            what = f"unit-stride access base {addr} vl {vl}"
+    else:
+        lo = hi = addr
+        misaligned = bool(addr % 8)
+        what = f"access at {addr}"
+    out: List[Finding] = []
+    if lo < 0 or hi + 8 > memory_bytes:
+        out.append(Finding(
+            "mem-oob", severity_of("mem-oob"), ins.pc,
+            f"{ins.op}: {what} spans [{lo}, {hi + 8}) outside data image "
+            f"of {memory_bytes} bytes"))
+    if misaligned:
+        out.append(Finding(
+            "mem-misaligned", severity_of("mem-misaligned"), ins.pc,
+            f"{ins.op}: {what} is not 8-byte aligned"))
+    return out
+
+
+def lint(program: Program) -> List[Finding]:
+    """Run every static rule over a finalized program.
+
+    Returns all findings sorted by (pc, rule); an empty list means the
+    program is clean.  See :data:`repro.verify.findings.RULES`.
+    """
+    if not program.finalized:
+        raise ValueError("lint() requires a finalized program "
+                         "(call Program.finalize() first)")
+    instrs = program.instrs
+    n = len(instrs)
+    label_pcs = tuple(sorted({pc for pc in program.labels.values()
+                              if 0 <= pc < n}))
+
+    # -- joint fixpoint: (maybe-undef bitset, known-constant dict) ---------
+    states: List[Optional[Tuple[int, Dict[int, int]]]] = [None] * (n + 1)
+    states[0] = (_ENTRY_UNDEF, {0: 0})
+    work = [0]
+    findings: List[Finding] = []
+    while work:
+        pc = work.pop()
+        if pc >= n:
+            continue
+        ins = instrs[pc]
+        undef, consts = states[pc]
+        for reg in ins.writes():
+            if reg != ("s", 0):
+                undef &= ~(1 << reg_uid(reg))
+        consts = _transfer_consts(ins, consts)
+        for succ in _successors(ins, n, label_pcs):
+            if not 0 <= succ <= n:
+                findings.append(Finding(
+                    "fall-off-end", severity_of("fall-off-end"), pc,
+                    f"{ins.op}: branch target pc {succ} is outside the "
+                    f"program (0..{n - 1})"))
+                continue
+            cur = states[succ]
+            if cur is None:
+                states[succ] = (undef, consts)
+                work.append(succ)
+            else:
+                m_undef = cur[0] | undef
+                m_consts = _merge_consts(cur[1], consts)
+                if m_undef != cur[0] or len(m_consts) != len(cur[1]):
+                    states[succ] = (m_undef, m_consts)
+                    work.append(succ)
+
+    # -- reporting pass over reachable instructions ------------------------
+    for pc in range(n):
+        if states[pc] is None:
+            continue
+        ins = instrs[pc]
+        undef, consts = states[pc]
+        s = ins.spec
+        seen_uids = set()
+        for reg in ins.reads():
+            uid = reg_uid(reg)
+            if uid == 0 or uid in seen_uids or not (undef >> uid) & 1:
+                continue
+            seen_uids.add(uid)
+            if uid == VM_UID:
+                findings.append(Finding(
+                    "mask-unset", severity_of("mask-unset"), pc,
+                    f"{ins.op}: reads the vector mask before any compare "
+                    f"writes vm"))
+            elif uid == VL_UID:
+                if s.is_vector and (s.is_load or s.is_store):
+                    findings.append(Finding(
+                        "vl-unset", severity_of("vl-unset"), pc,
+                        f"{ins.op}: vector memory op reachable before any "
+                        f"setvl (runs at default vl={MVL})"))
+            else:
+                findings.append(Finding(
+                    "use-before-def", severity_of("use-before-def"), pc,
+                    f"{ins.op}: reads {_uid_name(uid)} which may be "
+                    f"undefined here"))
+        findings.extend(_mem_findings(ins, consts, program.memory_bytes))
+        if s.writes_vl and ins.srcs:
+            req = consts.get(reg_uid(ins.srcs[0]))
+            if req is not None and req < 0:
+                findings.append(Finding(
+                    "setvl-negative", severity_of("setvl-negative"), pc,
+                    f"setvl request is the constant {req}; vl clamps to 0 "
+                    f"and every vector op becomes a no-op"))
+        if s.is_vltcfg:
+            imm = ins.imm
+            # imm 0 is the "repartition for the current thread count"
+            # idiom (the machine reads it as ``imm or num_threads``)
+            if not isinstance(imm, int) or imm < 0 or imm > MVL:
+                findings.append(Finding(
+                    "bad-vltcfg", severity_of("bad-vltcfg"), pc,
+                    f"vltcfg partition request {imm!r} is not an integer "
+                    f"in [0, {MVL}]"))
+        if ins.op in ("vins", "vfins", "vext", "vfext") and len(ins.srcs) == 2:
+            idx = consts.get(reg_uid(ins.srcs[1]))
+            if idx is not None and not 0 <= idx < MVL:
+                findings.append(Finding(
+                    "element-index-oob", severity_of("element-index-oob"),
+                    pc,
+                    f"{ins.op}: element index is the constant {idx}, "
+                    f"outside [0, {MVL})"))
+
+    # -- unreachable code (contiguous runs become one finding each) --------
+    pc = 0
+    while pc < n:
+        if states[pc] is not None:
+            pc += 1
+            continue
+        start = pc
+        while pc < n and states[pc] is None:
+            pc += 1
+        findings.append(Finding(
+            "unreachable-code", severity_of("unreachable-code"), start,
+            f"pcs {start}..{pc - 1} are unreachable from pc 0"
+            if pc - 1 > start else "instruction is unreachable from pc 0"))
+
+    # -- fall off the end of the instruction stream ------------------------
+    if states[n] is not None:
+        findings.append(Finding(
+            "fall-off-end", severity_of("fall-off-end"), n - 1,
+            "an execution path falls through past the last instruction "
+            "without reaching halt"))
+
+    findings.sort(key=lambda f: (f.pc, f.rule))
+    return findings
+
+
+def check(program: Program) -> List[Finding]:
+    """Lint and raise :class:`LintError` on any error-severity finding.
+
+    This is the automatic gate run on every compiler-emitted program
+    (:func:`repro.compiler.codegen.compile_kernel`) and every workload
+    program (:meth:`repro.workloads.base.Workload.program`).  Returns
+    the (possibly warning-only) finding list when the program passes.
+    """
+    findings = lint(program)
+    if any(f.severity == ERROR for f in findings):
+        raise LintError(program.name, findings)
+    return findings
+
+
+def emit_findings(program: Program, findings: List[Finding], bus) -> None:
+    """Publish findings as typed ``VERIFY`` events on an obs event bus."""
+    from ..obs.events import Event, VERIFY
+    if not bus.enabled:
+        return
+    for f in findings:
+        bus.emit(Event(0, VERIFY, f"verify:{program.name}", arg=f))

@@ -1,0 +1,152 @@
+"""Greedy program-shrinking reducer for mismatch repros.
+
+Given a program and a predicate (``True`` = "still exhibits the bug"),
+:func:`shrink_program` deletes instructions ddmin-style -- large chunks
+first, then progressively smaller, re-testing after every candidate
+deletion -- until no single instruction can be removed.  Deleting
+instructions shifts every subsequent pc, so branch targets are remapped
+through the kept-instruction prefix sums; a candidate whose branch
+target was deleted retargets to the next surviving instruction, and a
+candidate that loses its last ``halt`` (or otherwise fails to finalize)
+simply doesn't reproduce and is rejected by construction.
+
+The data image (symbols, initializers, memory size) is preserved: the
+bugs this tool minimizes live in the instruction stream / timing replay,
+and keeping addresses stable keeps the repro faithful.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..isa.program import Instr, Program
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    program: Program      #: the minimized program (still failing)
+    original_len: int     #: instruction count before shrinking
+    final_len: int        #: instruction count after shrinking
+    evaluations: int      #: predicate invocations spent
+
+    def render(self) -> str:
+        return (f"shrunk {self.original_len} -> {self.final_len} "
+                f"instructions in {self.evaluations} predicate "
+                f"evaluations:\n{self.program.listing()}")
+
+
+def _rebuild(program: Program, keep: List[bool]) -> Optional[Program]:
+    """Build a finalized sub-program from a keep mask (None: not viable)."""
+    kept = [i for i, k in enumerate(keep) if k]
+    if not kept:
+        return None
+    instrs: List[Instr] = []
+    for i in kept:
+        old = program.instrs[i]
+        target = old.target
+        if isinstance(target, int):
+            # retarget to the next surviving instruction at/after it
+            j = bisect_left(kept, target)
+            if j == len(kept):
+                return None  # branch into deleted tail: not viable
+            target = j
+        instrs.append(Instr(
+            old.op, dst=old.dst, srcs=old.srcs, imm=old.imm, mem=old.mem,
+            stride=old.stride, vidx=old.vidx, target=target,
+            masked=old.masked))
+    p = Program(name=f"{program.name}-shrunk", instrs=instrs, labels={},
+                symbols=dict(program.symbols),
+                initializers=list(program.initializers),
+                memory_bytes=program.memory_bytes)
+    try:
+        return p.finalize()
+    except ValueError:
+        return None  # e.g. every halt was deleted
+
+
+def shrink_program(program: Program,
+                   predicate: Callable[[Program], bool],
+                   max_evaluations: int = 2000) -> ShrinkResult:
+    """Minimize ``program`` while ``predicate`` keeps returning True.
+
+    ``predicate`` must be True for ``program`` itself (raises
+    ``ValueError`` otherwise) and should return False -- never raise --
+    for candidates that don't reproduce.  ``max_evaluations`` bounds the
+    total predicate budget; shrinking stops early when it is exhausted.
+    """
+    if not predicate(program):
+        raise ValueError(
+            f"program {program.name!r} does not exhibit the failure; "
+            f"nothing to shrink")
+    evaluations = 1
+    keep = [True] * len(program.instrs)
+    best = program
+
+    def attempt(candidate_keep: List[bool]) -> Optional[Program]:
+        nonlocal evaluations
+        if evaluations >= max_evaluations:
+            return None
+        p = _rebuild(program, candidate_keep)
+        if p is None:
+            return None
+        evaluations += 1
+        return p if predicate(p) else None
+
+    progress = True
+    while progress and evaluations < max_evaluations:
+        progress = False
+        chunk = max(1, sum(keep) // 2)
+        while chunk >= 1:
+            live = [i for i, k in enumerate(keep) if k]
+            pos = 0
+            while pos < len(live):
+                candidate = list(keep)
+                for i in live[pos:pos + chunk]:
+                    candidate[i] = False
+                p = attempt(candidate)
+                if p is not None:
+                    keep = candidate
+                    best = p
+                    live = [i for i, k in enumerate(keep) if k]
+                    progress = True
+                    # stay at the same position: the next chunk slid in
+                else:
+                    pos += chunk
+                if evaluations >= max_evaluations:
+                    break
+            if chunk == 1:
+                break
+            chunk //= 2
+    return ShrinkResult(program=best, original_len=len(program.instrs),
+                        final_len=sum(keep), evaluations=evaluations)
+
+
+def shrink_on_diff(program: Program, cfg, num_threads: int = 1,
+                   max_cycles: int = 50_000_000,
+                   max_evaluations: int = 2000) -> ShrinkResult:
+    """Shrink against the differential checker: keep a candidate when it
+    still produces a functional/timing mismatch on ``cfg``.
+
+    Candidates are traced with a fresh :class:`Executor` rather than the
+    global trace memo (every candidate has a distinct content digest;
+    memoising them would bloat the cache for single-shot traces).
+    """
+    from ..functional.executor import Executor
+    from .diff import differential_check
+
+    def predicate(p: Program) -> bool:
+        try:
+            tut = Executor(p, num_threads=num_threads,
+                           record_trace=True).run()
+            return not differential_check(
+                p, cfg, num_threads=num_threads, max_cycles=max_cycles,
+                trace=tut).ok
+        except Exception:
+            return False
+
+    return shrink_program(program, predicate,
+                          max_evaluations=max_evaluations)

@@ -66,7 +66,13 @@ class Workload(abc.ABC):
         """
         key = scalar_only and self.vectorizable
         if key not in self._cache:
-            self._cache[key] = self.build(scalar_only=scalar_only)
+            prog = self.build(scalar_only=scalar_only)
+            # gate every workload program through the static verifier
+            # once per build; LintError here means the workload itself
+            # is wrong, not the simulator
+            from ..verify import check  # deferred: verify imports timing
+            check(prog)
+            self._cache[key] = prog
         return self._cache[key]
 
     def run_and_verify(self, num_threads: int = 1,

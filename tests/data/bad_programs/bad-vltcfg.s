@@ -1,0 +1,6 @@
+# Minimal trigger for the `bad-vltcfg` rule: a partition request of 100
+# exceeds MVL=64.  (vltcfg 0 is legal -- it means "repartition for the
+# current thread count".)
+.program bad-vltcfg
+    vltcfg 100
+    halt

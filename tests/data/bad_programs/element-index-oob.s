@@ -1,0 +1,9 @@
+# Minimal trigger for the `element-index-oob` rule: vext with a
+# statically-known element index of 99, outside [0, MVL=64).
+.program element-index-oob
+    li s1, 8
+    setvl s2, s1
+    vmv.s v1, s1
+    li s3, 99
+    vext s4, v1, s3
+    halt

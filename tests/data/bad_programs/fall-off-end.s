@@ -1,0 +1,9 @@
+# Minimal trigger for the `fall-off-end` rule: the branch-taken path
+# runs through `end:` and off the bottom of the instruction stream --
+# the halt only covers the fall-through path.
+.program fall-off-end
+    li s1, 1
+    beq s1, s0, end
+    halt
+end:
+    li s2, 2

@@ -1,0 +1,8 @@
+# Minimal trigger for the `mask-unset` rule: the `.m` suffix makes the
+# vadd read the vector mask, but no compare has written vm yet.
+.program mask-unset
+    li s1, 8
+    setvl s2, s1
+    vmv.s v1, s1
+    vadd.vv.m v2, v1, v1
+    halt

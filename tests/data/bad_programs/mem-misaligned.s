@@ -1,0 +1,7 @@
+# Minimal trigger for the `mem-misaligned` rule: a statically-resolvable
+# load 4 bytes into an 8-byte-aligned f64 array.
+.program mem-misaligned
+.f64 x 1.0 2.0
+    li s1, &x
+    ld s2, 4(s1)
+    halt

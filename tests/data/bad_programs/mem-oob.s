@@ -1,0 +1,7 @@
+# Minimal trigger for the `mem-oob` rule: a statically-resolvable
+# scalar load at byte 2048 of a 1 KiB data image.
+.program mem-oob
+.memory 1
+    li s1, 2048
+    ld s2, 0(s1)
+    halt

@@ -1,0 +1,7 @@
+# Minimal trigger for the `setvl-negative` rule (warning): the request
+# is the constant -5, which clamps to vl=0 and silently turns every
+# vector op into a no-op.
+.program setvl-negative
+    li s1, -5
+    setvl s2, s1
+    halt

@@ -1,0 +1,7 @@
+# Minimal trigger for the `unreachable-code` rule (warning): the li is
+# jumped over and nothing branches back to it.
+.program unreachable-code
+    j end
+    li s1, 1
+end:
+    halt

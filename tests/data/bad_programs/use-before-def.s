@@ -1,0 +1,5 @@
+# Minimal trigger for the `use-before-def` rule: s3 is read before any
+# instruction writes it.  (s0 is hard-wired zero and would be fine.)
+.program use-before-def
+    addi s2, s3, 1
+    halt

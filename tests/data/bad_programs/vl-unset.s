@@ -1,0 +1,8 @@
+# Minimal trigger for the `vl-unset` rule (warning): a vector load is
+# reachable before any setvl, so it would run at the architectural
+# default vl=MVL -- almost never what the author meant.
+.program vl-unset
+.f64 x 1.0 2.0 3.0 4.0
+    li s1, &x
+    vld v1, 0(s1)
+    halt

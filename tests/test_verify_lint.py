@@ -1,0 +1,151 @@
+"""Static linter: rule firing on the bad-program corpus, cleanliness of
+every shipped program, and the automatic compiler/workload gates."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.verify import (ERROR, LintError, RULES, WARNING, check,
+                          emit_findings, lint, severity_of)
+
+BAD_DIR = Path(__file__).parent / "data" / "bad_programs"
+BAD_PROGRAMS = sorted(p.stem for p in BAD_DIR.glob("*.s"))
+
+
+class TestBadProgramCorpus:
+    def test_corpus_covers_every_rule(self):
+        # one minimal failing example per rule, named after the rule id
+        assert set(BAD_PROGRAMS) == set(RULES)
+
+    @pytest.mark.parametrize("name", BAD_PROGRAMS)
+    def test_flags_expected_rule(self, name):
+        prog = assemble((BAD_DIR / f"{name}.s").read_text(), name=name)
+        findings = lint(prog)
+        rules = {f.rule for f in findings}
+        assert name in rules, f"{name}: fired {sorted(rules)}"
+        # the corpus examples are *minimal*: nothing else fires
+        assert rules == {name}, f"{name}: extra rules {sorted(rules - {name})}"
+        for f in findings:
+            assert f.severity == severity_of(f.rule)
+            assert f.pc >= 0
+
+    @pytest.mark.parametrize("name", BAD_PROGRAMS)
+    def test_check_raises_iff_error_severity(self, name):
+        prog = assemble((BAD_DIR / f"{name}.s").read_text(), name=name)
+        if severity_of(name) == ERROR:
+            with pytest.raises(LintError) as exc:
+                check(prog)
+            assert name in str(exc.value)
+        else:
+            assert severity_of(name) == WARNING
+            findings = check(prog)   # warnings never raise
+            assert {f.rule for f in findings} == {name}
+
+
+class TestShippedProgramsAreClean:
+    def test_all_workload_flavours_lint_clean(self):
+        from repro.workloads import all_workload_names, get_workload
+        for name in all_workload_names():
+            w = get_workload(name)
+            for so in (False, True):
+                try:
+                    prog = w.build(scalar_only=so)
+                except ValueError:
+                    continue   # no scalar flavour for long-vector apps
+                assert lint(prog) == [], f"{name} scalar_only={so}"
+
+    def test_compiler_gate_is_on_by_default(self):
+        # compile_kernel(..., verify=True) is the default; a clean build
+        # of a real kernel must pass through check() without raising
+        from repro.compiler import (Array, Assign, CompileOptions, Kernel,
+                                    Loop, Var, compile_kernel)
+        i = Var("i")
+        a = Array("a", (64,))
+        kern = Kernel("touch", [Loop(i, 64, [Assign(a[i], a[i] + 1.0)],
+                                     parallel=True)])
+        prog = compile_kernel(kern, CompileOptions())
+        assert prog.finalized
+
+
+class TestLintMechanics:
+    def test_requires_finalized_program(self):
+        from repro.isa.program import Program
+        prog = Program(name="unfinalized", instrs=[], labels={}, symbols={},
+                       initializers=[], memory_bytes=1024)
+        with pytest.raises(ValueError, match="finalized"):
+            lint(prog)
+
+    def test_vltcfg_zero_is_legal(self):
+        # vltcfg 0 = "repartition for the current thread count" idiom
+        prog = assemble(".program z\n vltcfg 0\n halt\n")
+        assert lint(prog) == []
+
+    def test_s0_reads_are_always_defined(self):
+        prog = assemble(".program s0\n add s1, s0, s0\n halt\n")
+        assert lint(prog) == []
+
+    def test_defined_on_one_path_only_still_flagged(self):
+        prog = assemble("""
+        .program onepath
+            li s1, 1
+            beq s1, s0, skip
+            li s2, 7
+        skip:
+            add s3, s2, s1
+            halt
+        """)
+        rules = {f.rule for f in lint(prog)}
+        assert rules == {"use-before-def"}
+
+    def test_masked_memory_op_is_exempt_from_range_rules(self):
+        # a masked store only touches active elements; the linter is
+        # precise-or-silent, so no mem-oob without knowing the mask
+        prog = assemble("""
+        .program maskedst
+        .memory 1
+        .f64 x 1.0 2.0
+            li s1, 8
+            setvl s2, s1
+            li s3, &x
+            vld v1, 0(s3)
+            vfle.vv v1, v1
+            li s4, 100000
+            vst.m v1, 0(s4)
+            halt
+        """)
+        assert "mem-oob" not in {f.rule for f in lint(prog)}
+
+    def test_findings_sorted_and_rendered(self):
+        prog = assemble(".program two\n add s1, s2, s3\n halt\n")
+        findings = lint(prog)
+        assert findings == sorted(findings, key=lambda f: (f.pc, f.rule))
+        text = findings[0].render("two")
+        assert "two:" in text and "use-before-def" in text
+
+    def test_emit_findings_publishes_verify_events(self):
+        from repro.obs import VERIFY, EventBus
+        prog = assemble(".program ev\n add s1, s2, s3\n halt\n")
+        findings = lint(prog)
+        bus = EventBus()
+        got = []
+
+        class _Sink:
+            def on_event(self, e):
+                got.append(e)
+
+        bus.attach(_Sink())
+        emit_findings(prog, findings, bus)
+        assert len(got) == len(findings)
+        assert all(e.kind == VERIFY for e in got)
+        assert all(e.arg.rule == "use-before-def" for e in got)
+
+
+class TestExamplesLintClean:
+    def test_every_example_program_is_clean(self):
+        from repro.harness.cli import _example_programs
+        seen = 0
+        for label, prog in _example_programs():
+            assert lint(prog) == [], label
+            seen += 1
+        assert seen >= 10   # quickstart + 6 tradeoff + 2 reconf + shortvec
