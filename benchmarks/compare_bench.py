@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import List, Optional, Tuple
 
@@ -27,6 +28,7 @@ from typing import List, Optional, Tuple
 _GATED: Tuple[Tuple[str, str], ...] = (
     ("end_to_end", "cycles_per_s"),
     ("timing_replay", "cycles_per_s"),
+    ("timing_replay_columnar", "cycles_per_s"),
     ("functional", "ops_per_s"),
 )
 
@@ -36,7 +38,15 @@ def _metric(payload: dict, key: str, metric: str) -> Optional[float]:
     if not isinstance(row, dict):
         return None
     value = row.get(metric)
-    return float(value) if value else None
+    if value is None:
+        return None
+    # A present-but-zero (or otherwise unusable) value is NOT "missing":
+    # 0.0 cycles/s means the bench collapsed or a crashed run wrote
+    # zeros, and must reach the gate below rather than being skipped.
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
 
 
 def compare(baseline: dict, candidate: dict,
@@ -52,6 +62,16 @@ def compare(baseline: dict, candidate: dict,
             lines.append(f"  {label:<28} missing in "
                          f"{'baseline' if base is None else 'candidate'}; "
                          f"skipped")
+            continue
+        if not math.isfinite(cand) or cand <= 0.0:
+            failures.append(
+                f"{label}: candidate value {cand!r} is not a positive "
+                f"finite throughput (bench collapse or corrupt run)")
+            lines.append(f"  {label:<28} cand={cand!r}  INVALID")
+            continue
+        if not math.isfinite(base) or base <= 0.0:
+            lines.append(f"  {label:<28} baseline value {base!r} "
+                         f"unusable; skipped")
             continue
         ratio = cand / base
         verdict = "OK"

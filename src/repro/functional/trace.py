@@ -60,9 +60,32 @@ class ThreadTrace:
 
     def append(self, op: DynOp) -> None:
         self.ops.append(op)
+        self._cols = None   # invalidate any cached columnar view
 
     def __len__(self) -> int:
         return len(self.ops)
+
+    # -- columnar view -------------------------------------------------------
+
+    def columns(self) -> Dict[str, object]:
+        """Flat-array (columnar) view of this thread's ops.
+
+        Returns the same parallel arrays the npz cache format stores
+        (see the serialization section below), with ``op_table`` as an
+        ordered mnemonic list rather than a mnemonic->id dict.  The
+        view is computed once and cached on the instance; traces
+        decoded from npz attach their arrays directly at load time, so
+        array consumers (the columnar timing engine, bulk analyses)
+        never pay a per-:class:`DynOp` encode/decode round-trip.
+        """
+        cols = getattr(self, "_cols", None)
+        if cols is None:
+            cols = _encode_thread(self)
+            op_ids = cols.pop("op_table")
+            cols["op_table"] = [op for op, _ in
+                                sorted(op_ids.items(), key=lambda kv: kv[1])]
+            self._cols = cols
+        return cols
 
     # -- summary statistics (used by workload characterisation) -------------
 
@@ -214,6 +237,11 @@ def _decode_thread(tid: int, arrays: Dict[str, np.ndarray],
             tuple(int(u) for u in r_flat[r_off[i]:r_off[i + 1]]),
             tuple(int(u) for u in w_flat[w_off[i]:w_off[i + 1]]),
             vl=int(vls[i]), addrs=addrs, taken=taken, tgt=tgt, imm=imm))
+    # attach the columnar view directly: npz-decoded traces never pay
+    # the re-encode that columns() would otherwise do
+    cols = dict(arrays)
+    cols["op_table"] = list(op_table)
+    thread._cols = cols
     return thread
 
 

@@ -38,17 +38,30 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Optional
+
+#: tmp files from :meth:`TraceCache._atomic_write` older than this are
+#: considered abandoned (their writer is long dead) and safe to sweep
+_ORPHAN_TMP_AGE_S = 3600.0
 
 from .trace import ProgramTrace, trace_from_bytes, trace_to_bytes
 
 
 def result_key(program_digest: str, config_digest: str, num_threads: int,
-               max_cycles: int) -> str:
-    """Content key for one timing-simulation result."""
+               max_cycles: int, engine: str = "event") -> str:
+    """Content key for one timing-simulation result.
+
+    The default ("event") engine keeps its historic key so existing
+    caches stay warm; other engines get distinct keys -- the engines
+    are verified bit-identical, but sharing entries would let a cached
+    event-engine number mask a columnar-engine bug.
+    """
     raw = (f"vlt-result-v1:{program_digest}:{config_digest}:"
            f"{num_threads}:{max_cycles}")
+    if engine != "event":
+        raw += f":engine={engine}"
     return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
 
@@ -67,6 +80,11 @@ class TraceCache:
         self.result_hits = 0
         self.result_misses = 0
         self.result_stores = 0
+        # Startup sweep: a worker killed between mkstemp and os.replace
+        # (SIGKILL skips the except-cleanup) leaves a `<name>.tmp*` file
+        # behind.  Sweeping only *stale* ones keeps concurrent writers'
+        # in-flight files safe.
+        self.sweep_orphans()
 
     # -- paths ---------------------------------------------------------------
 
@@ -147,16 +165,53 @@ class TraceCache:
 
     # -- maintenance ---------------------------------------------------------
 
+    @staticmethod
+    def _is_tmp(path: Path) -> bool:
+        """In-flight / orphaned :meth:`_atomic_write` temp file?
+
+        ``mkstemp`` names are ``<final name>.tmp<random>``; real entries
+        (hex digests plus ``.trace.npz`` / ``.result.pkl``) never
+        contain ``.tmp``.
+        """
+        return ".tmp" in path.name
+
+    def sweep_orphans(self, min_age_s: float = _ORPHAN_TMP_AGE_S) -> int:
+        """Remove abandoned ``.tmp`` files older than ``min_age_s``.
+
+        Returns the number removed.  Fresh tmp files are left alone --
+        they may belong to a live concurrent writer.
+        """
+        removed = 0
+        cutoff = time.time() - min_age_s
+        for subdir in ("traces", "results"):
+            base = self.root / subdir
+            if not base.is_dir():
+                continue
+            for p in base.rglob("*"):
+                try:
+                    if (p.is_file() and self._is_tmp(p)
+                            and p.stat().st_mtime < cutoff):
+                        p.unlink()
+                        removed += 1
+                except OSError:
+                    continue   # raced with another sweeper / writer
+        return removed
+
     def _census(self, subdir: str) -> Dict[str, int]:
         base = self.root / subdir
         entries = 0
         nbytes = 0
+        orphans = 0
         if base.is_dir():
             for p in base.rglob("*"):
                 if p.is_file():
+                    if self._is_tmp(p):
+                        orphans += 1
+                        continue
                     entries += 1
                     nbytes += p.stat().st_size
-        return {"entries": entries, "bytes": nbytes}
+        return {"entries": entries, "bytes": nbytes,
+                "orphan_tmp_files": orphans}
 
     def stats(self) -> Dict[str, object]:
         """On-disk census plus this process's hit/miss/store counters."""
@@ -175,11 +230,16 @@ class TraceCache:
         }
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry; returns the number removed.
+
+        Orphaned ``.tmp`` files (of any age) are deleted along with the
+        tree but are not counted -- they were never cache entries.
+        """
         removed = 0
         for subdir in ("traces", "results"):
             base = self.root / subdir
             if base.is_dir():
-                removed += sum(1 for p in base.rglob("*") if p.is_file())
+                removed += sum(1 for p in base.rglob("*")
+                               if p.is_file() and not self._is_tmp(p))
                 shutil.rmtree(base)
         return removed

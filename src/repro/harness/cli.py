@@ -93,7 +93,7 @@ def instruction_mix(apps: Optional[List[str]] = None,
 
 
 def run_single(app: str, config: str = "base", threads: int = 1,
-               scalar_only: bool = False) -> str:
+               scalar_only: bool = False, engine: str = "event") -> str:
     """Run one workload on one machine configuration; report the stats."""
     from ..timing import simulate
     from ..timing.config import get_config
@@ -101,7 +101,7 @@ def run_single(app: str, config: str = "base", threads: int = 1,
     w = get_workload(app)
     prog = w.program(scalar_only=scalar_only)
     cfg = get_config(config)
-    r = simulate(prog, cfg, num_threads=threads)
+    r = simulate(prog, cfg, num_threads=threads, engine=engine)
     lines = [r.summary()]   # includes L2 bank-conflict cycles
     if r.phase_release_cycles:
         lines.append(f"  phases: {r.phase_durations()}")
@@ -118,7 +118,7 @@ def run_single(app: str, config: str = "base", threads: int = 1,
 
 def run_trace(app: str, config: str = "base", threads: int = 1,
               scalar_only: bool = False, out: Optional[str] = None,
-              max_events: int = 1_000_000) -> str:
+              max_events: int = 1_000_000, engine: str = "event") -> str:
     """Run one workload fully instrumented; write a Chrome trace-event
     JSON (loads in Perfetto) and return the stall-attribution report."""
     from ..obs import render_stall_report, write_chrome_trace
@@ -129,7 +129,7 @@ def run_trace(app: str, config: str = "base", threads: int = 1,
     prog = w.program(scalar_only=scalar_only)
     cfg = get_config(config)
     tr = simulate_traced(prog, cfg, num_threads=threads,
-                         max_events=max_events)
+                         max_events=max_events, engine=engine)
     lines = []
     if out:
         n = write_chrome_trace(
@@ -323,7 +323,8 @@ def lint_programs(apps: Optional[List[str]] = None,
 
 def diff_runs(app: Optional[str] = None, config: str = "base",
               threads: int = 1, scalar_only: bool = False,
-              apps: Optional[List[str]] = None) -> Tuple[str, int]:
+              apps: Optional[List[str]] = None,
+              engine: str = "event") -> Tuple[str, int]:
     """Differentially validate runs; returns (report, mismatch count).
 
     With ``app``, checks that single (app, config, threads) run.
@@ -347,8 +348,9 @@ def diff_runs(app: Optional[str] = None, config: str = "base",
     bad = 0
     for spec in specs:
         prog = get_workload(spec.app).program(scalar_only=spec.scalar_only)
+        kw = {} if engine == "event" else {"engine": engine}
         report = differential_check(prog, get_config(spec.config),
-                                    num_threads=spec.threads)
+                                    num_threads=spec.threads, **kw)
         if report.ok:
             status = f"OK ({report.ops_checked} ops, {report.cycles} cyc)"
         else:
@@ -469,6 +471,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="differentially validate every experiment "
                              "run against the functional executor "
                              "(runner path; see docs/verification.md)")
+    parser.add_argument("--engine", type=str, default="event",
+                        choices=("event", "columnar"),
+                        help="timing replay engine: 'event' (per-event "
+                             "oracle) or 'columnar' (NumPy array replay, "
+                             "verified bit-identical; see "
+                             "docs/architecture.md)")
     args = parser.parse_args(argv)
 
     if args.experiments[0] == "lint":
@@ -487,7 +495,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         text, mismatches = diff_runs(app, config=args.config,
                                      threads=args.threads,
                                      scalar_only=args.scalar_only,
-                                     apps=apps)
+                                     apps=apps, engine=args.engine)
         print(text)
         return 1 if mismatches else 0
 
@@ -513,7 +521,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "[--threads N]")
         print(run_single(args.experiments[1], config=args.config,
                          threads=args.threads,
-                         scalar_only=args.scalar_only))
+                         scalar_only=args.scalar_only,
+                         engine=args.engine))
         return 0
 
     if args.experiments[0] == "trace":
@@ -523,7 +532,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_trace(args.experiments[1], config=args.config,
                         threads=args.threads,
                         scalar_only=args.scalar_only, out=args.out,
-                        max_events=args.max_events))
+                        max_events=args.max_events,
+                        engine=args.engine))
         return 0
 
     if args.experiments[0] == "profile":
@@ -557,7 +567,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     runs = None
     failures = None
     runner = None
-    if args.jobs > 1 or args.cache_dir or args.timeout or args.verify:
+    if args.timeout is not None and not args.timeout > 0:
+        # don't let a `--timeout 0` typo silently skip the runner path
+        # (and with it the limit the user asked for)
+        parser.error("--timeout must be > 0 seconds")
+    if (args.jobs > 1 or args.cache_dir or args.timeout is not None
+            or args.verify):
         from ..timing.run import set_default_profiler, set_trace_cache_dir
         from .runner import ExperimentRunner
         specs = E.matrix_for(names, apps=apps, lanes=lanes)
@@ -573,7 +588,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir,
                                   timeout=args.timeout,
                                   retries=args.retries,
-                                  verify=args.verify)
+                                  verify=args.verify,
+                                  engine=args.engine)
         if args.cache_dir:
             set_trace_cache_dir(args.cache_dir)
         # parent-side runs (table4, doc extensions) count in one profile

@@ -153,7 +153,8 @@ def _worker_init(cache_dir: Optional[str]) -> None:
 
 def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
                   max_cycles: int,
-                  verify: bool = False) -> Dict[str, object]:
+                  verify: bool = False,
+                  engine: str = "event") -> Dict[str, object]:
     """Execute one spec; never raises (failures come back as data).
 
     Runs in a worker process (or inline for ``jobs=1``).  The payload is
@@ -187,7 +188,7 @@ def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
             key = None
             if cache is not None:
                 key = result_key(prog.digest(), cfg.digest(),
-                                 spec.threads, max_cycles)
+                                 spec.threads, max_cycles, engine=engine)
                 with prof.phase("result_cache_load"):
                     hit = cache.load_result(key)
                 if hit is not None and not verify:
@@ -195,14 +196,15 @@ def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
                             "phases": prof.as_dict(),
                             "wall_s": time.perf_counter() - t0}
             result = simulate(prog, cfg, num_threads=spec.threads,
-                              max_cycles=max_cycles, profiler=prof)
+                              max_cycles=max_cycles, profiler=prof,
+                              engine=engine)
             if verify:
                 from ..verify.diff import (DifferentialMismatch,
                                            differential_check)
                 with prof.phase("differential_check"):
                     report = differential_check(
                         prog, cfg, num_threads=spec.threads,
-                        max_cycles=max_cycles)
+                        max_cycles=max_cycles, engine=engine)
                 if not report.ok:
                     raise DifferentialMismatch(report)
             if cache is not None:
@@ -243,16 +245,25 @@ class ExperimentRunner:
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  timeout: Optional[float] = None, retries: int = 2,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
-                 verify: bool = False) -> None:
+                 verify: bool = False, engine: str = "event") -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if timeout is not None and not timeout > 0:
+            # `if not timeout_s` in _alarm() treats 0 as "no alarm", so
+            # a `--timeout 0` typo would silently disable the limit.
+            raise ValueError(
+                "timeout must be > 0 seconds; use None for no limit")
+        from ..timing.machine import validate_engine
+        validate_engine(engine)
         self.jobs = jobs
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.timeout = timeout
         self.retries = retries
         self.max_cycles = max_cycles
+        #: timing engine every run replays on ("event" or "columnar")
+        self.engine = engine
         #: differentially validate every run (functional vs timing); a
         #: mismatch is a structured, non-retryable failure
         self.verify = verify
@@ -346,7 +357,7 @@ class ExperimentRunner:
         for spec in specs:
             for attempt in range(1, self.retries + 2):
                 payload = _execute_spec(spec, self.timeout, self.max_cycles,
-                                        self.verify)
+                                        self.verify, self.engine)
                 if self._record(spec, payload, attempt) \
                         or not self._retryable(payload):
                     break
@@ -382,7 +393,8 @@ class ExperimentRunner:
                     initializer=_worker_init,
                     initargs=(cache_dir,)) as pool:
                 futs = {pool.submit(_execute_spec, s, self.timeout,
-                                    self.max_cycles, self.verify): s
+                                    self.max_cycles, self.verify,
+                                    self.engine): s
                         for s in specs}
                 not_done = set(futs)
                 while not_done:
@@ -429,8 +441,8 @@ class ExperimentRunner:
                         max_workers=1, initializer=_worker_init,
                         initargs=(cache_dir,)) as pool:
                     payload = pool.submit(_execute_spec, spec, self.timeout,
-                                          self.max_cycles,
-                                          self.verify).result()
+                                          self.max_cycles, self.verify,
+                                          self.engine).result()
             except BrokenProcessPool:
                 self._record_crash(spec, attempts)
                 continue

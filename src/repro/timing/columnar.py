@@ -1,0 +1,1972 @@
+"""Columnar replay engine: the timing core driven off flat trace arrays.
+
+:class:`ColumnarMachine` replays the same dynamic traces as the
+per-event :class:`~repro.timing.machine.Machine` (the oracle), but
+simulates directly over the columnar NumPy arrays of the trace cache
+format (``ThreadTrace.columns()``) instead of materialising per-op
+``SEntry``/``VEntry`` objects.  All per-op bookkeeping lives in flat
+parallel arrays indexed by trace position; the per-op operand tuples,
+latencies, pools and behavioural flags are derived once per trace (and
+cached on the columns dict), so the hot loop touches only ints and
+lists.
+
+Two accelerations sit on top of the faithful port -- both are exact,
+verified bit-identical against the oracle (cycles, final state,
+committed-op streams) by ``vlt-repro diff``:
+
+* **cycle-window batching** -- the idle-skip of the event loop is
+  extended to windows where the vector unit is busy: scalar-unit
+  frontends drained behind a barrier/halt/lsync report a *drain bound*,
+  and the vector unit exposes ``next_action`` / ``fast_forward`` so a
+  provably-eventless window ``[c+1, best)`` is replayed as one batched
+  datapath-accounting update (closed form per FU) plus a round-robin
+  advance, instead of per-cycle no-op steps;
+
+* **steady-state memoisation** -- taken backward branches anchor a
+  period detector.  When two consecutive anchor visits show the same
+  cadence, the full normalised machine state (ROBs, queues, register
+  timestamps, VIQ, FUs, bank timers -- everything, relative to the
+  anchor cycle and per-context trace positions) is fingerprinted and
+  cache/predictor mutations are recorded copy-on-write.  If the next
+  visit reproduces the fingerprint, the recorded cache sets and
+  predictor counters, and the trace itself repeats for ``k`` more
+  periods, the machine jumps ``k`` periods at once: timestamps shift
+  uniformly, positions advance by the per-context period delta, and
+  every statistics counter advances by ``k`` times its per-period
+  delta.  Obs-enabled runs disable memoisation (events must be emitted
+  cycle by cycle), making tracing behaviour-identical by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..functional.trace import DynOp
+from ..isa.opcodes import spec
+from ..isa.registers import NUM_REG_UIDS, V_BASE, VL_UID
+from ..obs.events import (BARRIER_ARRIVE, BARRIER_RELEASE, COMMIT, Event,
+                          EventBus, ISSUE, STALL, VISSUE, VLCFG, StallReason)
+from .branch import BimodalPredictor
+from .caches import Cache
+from .config import MachineConfig, ScalarUnitConfig, VectorUnitConfig
+from .l2 import BankedL2
+from .lane_core import LaneCore
+from .scalar_unit import CODE_BASE, INSTR_BYTES
+from .stats import DatapathUtilization, RunResult, ScalarUnitStats, \
+    VectorUnitStats
+
+_FAR_FUTURE = 1 << 62
+
+#: vector-side register-uid namespace size (v0..v31 + vm), as in vcl
+_NUM_VSIDE = 33
+
+# -- per-op behavioural flags (derived once per opcode table) ---------------
+
+_F_VECTOR = 1 << 0
+_F_LOAD = 1 << 1
+_F_STORE = 1 << 2
+_F_COND_BRANCH = 1 << 3
+_F_BARRIER = 1 << 4
+_F_HALT = 1 << 5
+_F_LSYNC = 1 << 6
+_F_VLTCFG = 1 << 7
+_F_STRIDED = 1 << 8          # vmem op with non-unit stride (strided/indexed)
+_F_WRITES_SCALAR = 1 << 9    # writes any scalar-side uid (incl. vl)
+_F_WRITES_VREG = 1 << 10     # writes any vector-side uid (holds a rename reg)
+_F_WAIT = _F_BARRIER | _F_HALT | _F_LSYNC
+
+_P_ARITH, _P_MEM, _P_VARITH, _P_VMEM, _P_NONE = range(5)
+_POOL_CODE = {"arith": _P_ARITH, "mem": _P_MEM, "varith": _P_VARITH,
+              "vmem": _P_VMEM, "none": _P_NONE}
+
+
+class _Cols:
+    """Derived static per-thread columnar data (shared across runs).
+
+    Wraps one ``ThreadTrace.columns()`` dict with per-op latency / pool /
+    flag expansions and plain-list views of the hot columns (python list
+    indexing beats 0-d ndarray extraction in the interpreter loop).
+    """
+
+    __slots__ = ("n", "ops", "pcs", "vls", "takens", "tgts", "imms",
+                 "r_off", "w_off", "a_off", "r_flat", "w_flat", "a_flat",
+                 "rcnt", "wcnt", "acnt", "flags", "lat", "pool", "pc",
+                 "vl", "taken", "imm", "addr0", "reads", "writes",
+                 "anchor", "_ilines")
+
+    def __init__(self, cols: Dict[str, object]):
+        specs = [spec(m) for m in cols["op_table"]]
+        lat_tab = np.array([s.latency for s in specs] or [0], dtype=np.int64)
+        pool_tab = np.array([_POOL_CODE[s.pool] for s in specs] or [0],
+                            dtype=np.int64)
+        flag_tab = np.zeros(max(1, len(specs)), dtype=np.int64)
+        for j, s in enumerate(specs):
+            f = 0
+            if s.is_vector:
+                f |= _F_VECTOR
+            if s.is_load:
+                f |= _F_LOAD
+            if s.is_store:
+                f |= _F_STORE
+            if s.is_branch and not s.is_uncond:
+                f |= _F_COND_BRANCH
+            if s.is_barrier:
+                f |= _F_BARRIER
+            if s.is_halt:
+                f |= _F_HALT
+            if s.is_lsync:
+                f |= _F_LSYNC
+            if s.is_vltcfg:
+                f |= _F_VLTCFG
+            if s.mem_stride or s.mem_indexed:
+                f |= _F_STRIDED
+            flag_tab[j] = f
+        ops = np.asarray(cols["ops"])
+        self.ops = ops
+        self.pcs = np.asarray(cols["pcs"])
+        self.vls = np.asarray(cols["vls"])
+        self.takens = np.asarray(cols["takens"])
+        self.tgts = np.asarray(cols["tgts"])
+        self.imms = np.asarray(cols["imms"])
+        self.r_off = np.asarray(cols["r_off"])
+        self.w_off = np.asarray(cols["w_off"])
+        self.a_off = np.asarray(cols["a_off"])
+        self.r_flat = np.asarray(cols["r_flat"])
+        self.w_flat = np.asarray(cols["w_flat"])
+        self.a_flat = np.asarray(cols["a_flat"])
+        n = int(ops.size)
+        self.n = n
+        flags = flag_tab[ops]
+        # operand-derived flags: any() over each op's w_off window, done
+        # for all ops at once with a cumulative-sum-at-offsets trick
+        w_scalar = (self.w_flat < V_BASE) | (self.w_flat == VL_UID)
+        cs = np.concatenate(([0], np.cumsum(w_scalar)))
+        flags = flags | np.where(
+            cs[self.w_off[1:]] - cs[self.w_off[:-1]] > 0, _F_WRITES_SCALAR, 0)
+        cs = np.concatenate(([0], np.cumsum(self.w_flat >= V_BASE)))
+        flags = flags | np.where(
+            cs[self.w_off[1:]] - cs[self.w_off[:-1]] > 0, _F_WRITES_VREG, 0)
+        self.flags = flags.tolist()
+        self.lat = lat_tab[ops].tolist()
+        self.pool = pool_tab[ops].tolist()
+        self.pc = self.pcs.tolist()
+        self.vl = self.vls.tolist()
+        self.taken = self.takens.tolist()
+        self.imm = self.imms.tolist()
+        # first element address per op (-1 when the op carries none)
+        self.acnt = np.diff(self.a_off)
+        addr0 = np.full(n, -1, dtype=np.int64)
+        nz = np.nonzero(self.acnt)[0]
+        addr0[nz] = self.a_flat[self.a_off[:-1][nz]]
+        self.addr0 = addr0.tolist()
+        self.rcnt = np.diff(self.r_off)
+        self.wcnt = np.diff(self.w_off)
+        rl = self.r_flat.tolist()
+        ro = self.r_off.tolist()
+        self.reads = [rl[ro[i]:ro[i + 1]] for i in range(n)]
+        wl = self.w_flat.tolist()
+        wo = self.w_off.tolist()
+        self.writes = [wl[wo[i]:wo[i + 1]] for i in range(n)]
+        # steady-state anchors: taken backward conditional branches
+        anchor = (((flags & _F_COND_BRANCH) != 0) & (self.takens == 1)
+                  & (self.tgts >= 0) & (self.tgts <= self.pcs))
+        self.anchor = anchor.tolist()
+        self._ilines: Dict[int, List[int]] = {}
+
+    def ilines(self, line: int) -> List[int]:
+        """Per-op I-cache line index for the given line size (cached)."""
+        cached = self._ilines.get(line)
+        if cached is None:
+            cached = ((CODE_BASE + self.pcs * INSTR_BYTES) // line).tolist()
+            self._ilines[line] = cached
+        return cached
+
+
+def _derive(cols_dict: Dict[str, object]) -> _Cols:
+    """The :class:`_Cols` view of a columns dict, cached on the dict so
+    repeated runs over one trace skip re-derivation."""
+    d = cols_dict.get("_derived")
+    if d is None:
+        d = _Cols(cols_dict)
+        cols_dict["_derived"] = d
+    return d
+
+
+# -- copy-on-write recorders for steady-state detection ----------------------
+
+class _RecCache(Cache):
+    """Cache whose mutations can be recorded copy-on-write.
+
+    While recorder dicts are attached, every set about to be mutated is
+    snapshotted (first touch only) into each dict; the steady-state
+    detector compares the snapshots against the live sets one period
+    later.  With no recorder attached the overhead is one truthiness
+    check per access.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._recs: List[dict] = []
+
+    def _snapshot(self, addr: int) -> None:
+        set_idx = (addr // self.line_bytes) % self.num_sets
+        ways = self._sets[set_idx]
+        for d in self._recs:
+            if set_idx not in d:
+                d[set_idx] = ways[:]
+
+    def access(self, addr: int) -> bool:
+        if self._recs:
+            self._snapshot(addr)
+        return super().access(addr)
+
+    def invalidate(self, addr: int) -> bool:
+        if self._recs:
+            self._snapshot(addr)
+        return super().invalidate(addr)
+
+    def rec_equal(self, d: dict) -> bool:
+        sets = self._sets
+        return all(sets[i] == ways for i, ways in d.items())
+
+
+class _RecPredictor(BimodalPredictor):
+    """Bimodal predictor with the same copy-on-write recording."""
+
+    def __init__(self, entries: int):
+        super().__init__(entries)
+        self._recs: List[dict] = []
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        if self._recs:
+            idx = pc & self._mask
+            ctr = self._table[idx]
+            for d in self._recs:
+                if idx not in d:
+                    d[idx] = ctr
+        return super().predict_and_update(pc, taken)
+
+    def rec_equal(self, d: dict) -> bool:
+        table = self._table
+        return all(table[i] == v for i, v in d.items())
+
+
+# -- trace periodicity (vectorised) -----------------------------------------
+
+def _match_len(a: np.ndarray, f2: int, d: int) -> int:
+    """Length of the run from ``f2`` on that equals the run ``d`` back."""
+    x = a[f2:]
+    if x.size == 0:
+        return 0
+    y = a[f2 - d:f2 - d + x.size]
+    neq = x != y
+    idx = int(np.argmax(neq))
+    return idx if neq[idx] else int(x.size)
+
+
+def _periods_ahead(cols: _Cols, f2: int, d: int) -> int:
+    """Whole ``d``-op periods from ``f2`` on that exactly repeat the
+    period ending at ``f2`` (all columns, including operand payloads)."""
+    m = None
+    for arr in (cols.ops, cols.pcs, cols.vls, cols.takens, cols.tgts,
+                cols.imms, cols.rcnt, cols.wcnt, cols.acnt):
+        ml = _match_len(arr, f2, d)
+        m = ml if m is None else min(m, ml)
+        if m < d:
+            return 0
+    k = m // d
+    for flat, off in ((cols.r_flat, cols.r_off), (cols.w_flat, cols.w_off),
+                      (cols.a_flat, cols.a_off)):
+        fo = int(off[f2])
+        po = fo - int(off[f2 - d])
+        if po <= 0:
+            continue
+        kf = _match_len(flat, fo, po) // po
+        if kf < k:
+            k = kf
+        if k == 0:
+            return 0
+    return k
+
+
+def _ops_equal(cols: _Cols, p: int, q: int) -> bool:
+    """Positions ``p`` and ``q`` carry the identical dynamic op."""
+    if (cols.ops[p] != cols.ops[q] or cols.pc[p] != cols.pc[q]
+            or cols.vl[p] != cols.vl[q] or cols.taken[p] != cols.taken[q]
+            or cols.imm[p] != cols.imm[q]
+            or cols.reads[p] != cols.reads[q]
+            or cols.writes[p] != cols.writes[q]):
+        return False
+    ao = cols.a_off
+    a1 = cols.a_flat[ao[p]:ao[p + 1]]
+    a2 = cols.a_flat[ao[q]:ao[q + 1]]
+    return a1.size == a2.size and bool(np.array_equal(a1, a2))
+
+
+# -- scalar unit -------------------------------------------------------------
+
+class _Ctx:
+    """One SMT hardware context; per-op state lives in position-indexed
+    parallel lists (the columnar replacement for SEntry objects)."""
+
+    __slots__ = ("su", "ctx_idx", "tid", "ops", "cols", "n", "fetch_idx",
+                 "rob", "last_writer", "fetch_stalled_until",
+                 "blocked_on_branch", "waiting_barrier", "halted",
+                 "finish_time", "last_iline", "window_limit", "iline",
+                 "ready", "unmet", "vunmet", "done", "subs", "vsubs",
+                 "seqno", "misp")
+
+    def __init__(self, su: "_ColScalarUnit", ctx_idx: int, tid: int,
+                 ops: List[DynOp], cols: _Cols, window_limit: int):
+        self.su = su
+        self.ctx_idx = ctx_idx
+        self.tid = tid
+        self.ops = ops                  # DynOp refs, for event emission only
+        self.cols = cols
+        self.n = cols.n
+        self.fetch_idx = 0
+        self.rob: List[int] = []        # trace positions, FIFO
+        #: per-uid completion time (>= 0) or in-flight producer encoded
+        #: as -(pos + 1)
+        self.last_writer: List[int] = [0] * NUM_REG_UIDS
+        self.fetch_stalled_until = 0
+        self.blocked_on_branch: Optional[int] = None
+        self.waiting_barrier = False
+        self.halted = False
+        self.finish_time: Optional[int] = None
+        self.last_iline = -1
+        self.window_limit = window_limit
+        self.iline = cols.ilines(su.cfg.l1_line)
+        n = cols.n
+        self.ready = [0] * n        # SEntry.ready_time / VEntry.ready
+        self.unmet = [0] * n        # SEntry.unmet / VEntry.scalar_unmet
+        self.vunmet = [0] * n       # VEntry.vec_unmet
+        self.done: List[Optional[int]] = [None] * n
+        self.subs: List[Optional[list]] = [None] * n    # scalar subscribers
+        self.vsubs: List[Optional[list]] = [None] * n   # vector subscribers
+        self.seqno = [0] * n
+        self.misp: set = set()      # positions with a pending mispredict
+
+
+class _ColScalarUnit:
+    """Positional port of :class:`~repro.timing.scalar_unit.ScalarUnit`."""
+
+    def __init__(self, machine: "ColumnarMachine", index: int,
+                 cfg: ScalarUnitConfig, l2: BankedL2):
+        self.machine = machine
+        self.index = index
+        self.cfg = cfg
+        self.l2 = l2
+        self.obs = machine.obs
+        self.stats = ScalarUnitStats()
+        self.l1i = _RecCache(cfg.l1i_kib * 1024, cfg.l1_assoc, cfg.l1_line,
+                             name=f"SU{index}-L1I", bus=self.obs)
+        self.l1d = _RecCache(cfg.l1d_kib * 1024, cfg.l1_assoc, cfg.l1_line,
+                             name=f"SU{index}-L1D", bus=self.obs)
+        self.bpred = _RecPredictor(cfg.bpred_entries)
+        self.contexts: List[_Ctx] = []
+        self.rob_occupancy = 0
+        self._seq = 0
+        self._ready_heap: list = []     # (ready_time, seq, ctx, pos)
+        self._issueq_arith: list = []   # (seq, ctx, pos)
+        self._issueq_mem: list = []
+        self._fetch_rr = 0
+        self._commit_rr = 0
+        vu_cfg = machine.cfg.vu
+        self._vu_transfer = vu_cfg.su_transfer if vu_cfg is not None else 0
+
+    def add_thread(self, tid: int, ops: List[DynOp], cols: _Cols) -> _Ctx:
+        ctx = _Ctx(self, len(self.contexts), tid, ops, cols,
+                   self.cfg.window)
+        self.contexts.append(ctx)
+        return ctx
+
+    # -- event plumbing ------------------------------------------------------
+
+    def announce(self, ctx: _Ctx, pos: int, time: int) -> None:
+        """Positional SEntry.announce: publish a completion time."""
+        lw = ctx.last_writer
+        key = -(pos + 1)
+        for uid in ctx.cols.writes[pos]:
+            if lw[uid] == key:
+                lw[uid] = time
+        subs = ctx.subs[pos]
+        if subs:
+            ctx.subs[pos] = None
+            flags = ctx.cols.flags
+            ready = ctx.ready
+            unmet = ctx.unmet
+            transfer = self._vu_transfer
+            heap = self._ready_heap
+            seqno = ctx.seqno
+            for c in subs:
+                if flags[c] & _F_VECTOR:
+                    # VEntry.notify: add the SU->VCL hop, never schedule
+                    t = time + transfer
+                    if t > ready[c]:
+                        ready[c] = t
+                    unmet[c] -= 1
+                else:
+                    if time > ready[c]:
+                        ready[c] = time
+                    unmet[c] -= 1
+                    if unmet[c] == 0:
+                        heapq.heappush(heap, (ready[c], seqno[c], ctx, c))
+
+    # -- main per-cycle step -------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        self._commit(cycle)
+        self._wakeup(cycle)
+        self._issue(cycle)
+        self._frontend(cycle)
+
+    def _commit(self, cycle: int) -> None:
+        budget = self.cfg.width
+        nctx = len(self.contexts)
+        if nctx == 0:
+            return
+        start = self._commit_rr
+        self._commit_rr = (start + 1) % nctx
+        obs = self.obs
+        obs_on = obs.enabled
+        for k in range(nctx):
+            ctx = self.contexts[(start + k) % nctx]
+            rob = ctx.rob
+            done = ctx.done
+            while budget and rob:
+                head = rob[0]
+                d = done[head]
+                if d is None or d > cycle:
+                    break
+                rob.pop(0)
+                self.rob_occupancy -= 1
+                self.stats.committed += 1
+                budget -= 1
+                if obs_on:
+                    obs.emit(Event(cycle, COMMIT,
+                                   f"SU{self.index}.c{ctx.ctx_idx}",
+                                   ctx.ops[head]))
+            if budget == 0:
+                return
+
+    def _wakeup(self, cycle: int) -> None:
+        heap = self._ready_heap
+        while heap and heap[0][0] <= cycle:
+            _, seq, ctx, pos = heapq.heappop(heap)
+            if ctx.cols.pool[pos] == _P_MEM:
+                heapq.heappush(self._issueq_mem, (seq, ctx, pos))
+            else:
+                heapq.heappush(self._issueq_arith, (seq, ctx, pos))
+
+    def _issue(self, cycle: int) -> None:
+        budget = self.cfg.width
+        arith_slots = self.cfg.arith_units
+        mem_slots = self.cfg.mem_ports
+        qa, qm = self._issueq_arith, self._issueq_mem
+        while budget:
+            pick_arith: Optional[bool] = None
+            if qa and arith_slots:
+                if qm and mem_slots:
+                    pick_arith = qa[0][0] < qm[0][0]
+                else:
+                    pick_arith = True
+            elif qm and mem_slots:
+                pick_arith = False
+            if pick_arith is None:
+                return
+            if pick_arith:
+                _, ctx, pos = heapq.heappop(qa)
+                arith_slots -= 1
+            else:
+                _, ctx, pos = heapq.heappop(qm)
+                mem_slots -= 1
+            self._execute(ctx, pos, cycle)
+            budget -= 1
+
+    def _execute(self, ctx: _Ctx, pos: int, cycle: int) -> None:
+        cols = ctx.cols
+        fl = cols.flags[pos]
+        lat = cols.lat[pos]
+        self.stats.issued += 1
+        if fl & _F_LOAD:
+            addr = cols.addr0[pos]
+            self.stats.l1d_accesses += 1
+            if self.l1d.access(addr):
+                done = cycle + lat + self.cfg.l1_hit_latency
+            else:
+                self.stats.l1d_misses += 1
+                done = self.l2.access(addr, cycle + lat
+                                      + self.cfg.l1_hit_latency)
+        elif fl & _F_STORE:
+            addr = cols.addr0[pos]
+            self.stats.l1d_accesses += 1
+            if not self.l1d.access(addr):
+                self.stats.l1d_misses += 1
+                self.l2.access(addr, cycle + lat)  # fill bandwidth
+            self.machine.l1d_invalidate(addr, except_su=self)
+            done = cycle + lat
+        else:
+            done = cycle + lat
+        ctx.done[pos] = done
+        self.announce(ctx, pos, done)
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(Event(cycle, ISSUE,
+                           f"SU{self.index}.c{ctx.ctx_idx}", ctx.ops[pos],
+                           dur=done - cycle))
+        if ctx.misp and pos in ctx.misp:
+            ctx.misp.discard(pos)
+            fsu = done + self.cfg.mispredict_penalty
+            if fsu > ctx.fetch_stalled_until:
+                ctx.fetch_stalled_until = fsu
+            self.stats.fetch_stall_cycles += \
+                max(0, ctx.fetch_stalled_until - cycle)
+            if obs.enabled and ctx.fetch_stalled_until > cycle:
+                obs.emit(Event(
+                    cycle, STALL, f"SU{self.index}.c{ctx.ctx_idx}",
+                    ctx.ops[pos], dur=ctx.fetch_stalled_until - cycle,
+                    reason=StallReason.BRANCH_MISPREDICT))
+            if ctx.blocked_on_branch == pos:
+                ctx.blocked_on_branch = None
+
+    # -- frontend ------------------------------------------------------------
+
+    def _can_fetch(self, ctx: _Ctx, cycle: int) -> bool:
+        return (not ctx.halted and not ctx.waiting_barrier
+                and ctx.blocked_on_branch is None
+                and ctx.fetch_stalled_until <= cycle
+                and ctx.fetch_idx < ctx.n
+                and len(ctx.rob) < ctx.window_limit
+                and self.rob_occupancy < self.cfg.window)
+
+    def _frontend(self, cycle: int) -> None:
+        nctx = len(self.contexts)
+        if nctx == 0:
+            return
+        budget = self.cfg.width
+        start = self._fetch_rr
+        self._fetch_rr = (start + 1) % nctx
+        for k in range(nctx):
+            if budget == 0:
+                return
+            ctx = self.contexts[(start + k) % nctx]
+            budget = self._fetch_ctx(ctx, cycle, budget)
+
+    def _fetch_ctx(self, ctx: _Ctx, cycle: int, budget: int) -> int:
+        cols = ctx.cols
+        flags = cols.flags
+        machine = self.machine
+        while budget and self._can_fetch(ctx, cycle):
+            pos = ctx.fetch_idx
+            fl = flags[pos]
+
+            iline = ctx.iline[pos]
+            if iline != ctx.last_iline:
+                self.stats.l1i_accesses += 1
+                ctx.last_iline = iline
+                if not self.l1i.access(iline * self.cfg.l1_line):
+                    self.stats.l1i_misses += 1
+                    ctx.fetch_stalled_until = self.l2.access(
+                        iline * self.cfg.l1_line, cycle)
+                    self.stats.fetch_stall_cycles += \
+                        ctx.fetch_stalled_until - cycle
+                    obs = self.obs
+                    if obs.enabled:
+                        obs.emit(Event(
+                            cycle, STALL,
+                            f"SU{self.index}.c{ctx.ctx_idx}", ctx.ops[pos],
+                            dur=ctx.fetch_stalled_until - cycle,
+                            reason=StallReason.L1I_MISS))
+                    return budget
+
+            if fl & (_F_BARRIER | _F_HALT):
+                vu = machine.vu
+                if ctx.rob or (vu is not None
+                               and not vu.partition_idle(ctx.tid, cycle)):
+                    return budget
+                ctx.fetch_idx += 1
+                if fl & _F_BARRIER:
+                    ctx.waiting_barrier = True
+                    machine.barrier_arrive(ctx.tid, cycle)
+                else:
+                    ctx.halted = True
+                    ctx.finish_time = cycle
+                    machine.thread_halted(ctx.tid, cycle)
+                return budget
+            if fl & _F_LSYNC:
+                vu = machine.vu
+                if vu is not None and not vu.partition_idle(ctx.tid, cycle):
+                    return budget
+                ctx.fetch_idx += 1
+                budget -= 1
+                continue
+            if fl & _F_VLTCFG:
+                vu = machine.vu
+                imm = cols.imm[pos]
+                n = imm if imm > 0 else machine.num_threads
+                if vu is None or n == len(vu.partitions):
+                    ctx.fetch_idx += 1
+                    budget -= 1
+                    continue
+                if ctx.rob or vu.busy(cycle):
+                    return budget
+                ctx.fetch_idx += 1
+                machine.vltcfg_request(ctx.tid, n, cycle)
+                ctx.fetch_stalled_until = cycle + machine.cfg.vltcfg_overhead
+                return budget
+
+            if fl & _F_VECTOR:
+                vu = machine.vu
+                if vu is None:
+                    raise RuntimeError(
+                        f"vector instruction {ctx.ops[pos].op!r} on machine "
+                        f"{machine.cfg.name!r} without a vector unit")
+                if not vu.can_accept(ctx.tid, cycle):
+                    self.stats.dispatch_stall_viq += 1
+                    return budget
+                scalar_ready, pending = self._dispatch_vector(ctx, pos, cycle)
+                vu.dispatch(ctx.tid, ctx, pos, cycle, scalar_ready, pending)
+                ctx.fetch_idx += 1
+                budget -= 1
+                self.stats.fetched += 1
+                continue
+
+            self._dispatch(ctx, pos, cycle)
+            ctx.fetch_idx += 1
+            budget -= 1
+            self.stats.fetched += 1
+
+            if fl & _F_COND_BRANCH:
+                self.stats.branch_lookups += 1
+                pc = cols.pc[pos]
+                correct = self.bpred.predict_and_update(
+                    pc, cols.taken[pos] == 1)
+                if ctx is machine._anchor_ctx and cols.anchor[pos]:
+                    machine._anchor_pc = pc
+                if not correct:
+                    self.stats.branch_mispredicts += 1
+                    ctx.misp.add(pos)
+                    ctx.blocked_on_branch = pos
+                    return budget
+        return budget
+
+    def _dispatch(self, ctx: _Ctx, pos: int, cycle: int) -> None:
+        self._seq += 1
+        seq = self._seq
+        lw = ctx.last_writer
+        unmet = 0
+        ready = cycle + 1
+        subs = ctx.subs
+        for uid in ctx.cols.reads[pos]:
+            w = lw[uid]
+            if w >= 0:
+                if w > ready:
+                    ready = w
+            else:
+                p = -w - 1
+                s = subs[p]
+                if s is None:
+                    subs[p] = [pos]
+                else:
+                    s.append(pos)
+                unmet += 1
+        ctx.ready[pos] = ready
+        ctx.unmet[pos] = unmet
+        ctx.vunmet[pos] = 0
+        ctx.done[pos] = None
+        ctx.seqno[pos] = seq
+        subs[pos] = None
+        key = -(pos + 1)
+        for uid in ctx.cols.writes[pos]:
+            lw[uid] = key
+        if unmet == 0:
+            heapq.heappush(self._ready_heap, (ready, seq, ctx, pos))
+        ctx.rob.append(pos)
+        self.rob_occupancy += 1
+
+    def _dispatch_vector(self, ctx: _Ctx, pos: int,
+                         cycle: int) -> Tuple[int, list]:
+        self._seq += 1
+        lw = ctx.last_writer
+        scalar_ready = cycle + 1
+        pending: List[int] = []
+        for uid in ctx.cols.reads[pos]:
+            if uid >= V_BASE and uid != VL_UID:
+                continue
+            w = lw[uid]
+            if w >= 0:
+                if w > scalar_ready:
+                    scalar_ready = w
+            else:
+                pending.append(-w - 1)
+        writes_scalar = False
+        key = -(pos + 1)
+        for uid in ctx.cols.writes[pos]:
+            if uid < V_BASE or uid == VL_UID:
+                lw[uid] = key
+                writes_scalar = True
+        ctx.ready[pos] = cycle + 1
+        ctx.unmet[pos] = 0
+        ctx.vunmet[pos] = 0
+        ctx.seqno[pos] = self._seq
+        ctx.subs[pos] = None
+        ctx.vsubs[pos] = None
+        ctx.done[pos] = None if writes_scalar else cycle + 1
+        ctx.rob.append(pos)
+        self.rob_occupancy += 1
+        return scalar_ready, pending
+
+    # -- idle detection ------------------------------------------------------
+
+    def _fetch_wait_bound(self, ctx: _Ctx, cycle: int) -> Optional[int]:
+        """If fetching this context now is provably a pure no-op until a
+        known future cycle, return that cycle; else None.
+
+        Only barrier/halt/lsync heads waiting on vector drain qualify --
+        their fetch attempt touches nothing (the I-line is already
+        current) and the drain completion time is known exactly."""
+        pos = ctx.fetch_idx
+        fl = ctx.cols.flags[pos]
+        if not fl & _F_WAIT:
+            return None
+        if ctx.iline[pos] != ctx.last_iline:
+            return None
+        vu = self.machine.vu
+        if vu is None:
+            return None
+        if not fl & _F_LSYNC and ctx.rob:
+            return None
+        if vu.partition_idle(ctx.tid, cycle):
+            return None
+        return vu.drain_bound(ctx.tid, cycle)
+
+    def next_event(self, cycle: int) -> int:
+        best = None
+        if self._issueq_arith or self._issueq_mem:
+            return cycle + 1
+        nxt = cycle + 1
+        for ctx in self.contexts:
+            if ctx.halted or ctx.waiting_barrier:
+                continue
+            if self._can_fetch(ctx, cycle):
+                t = self._fetch_wait_bound(ctx, cycle)
+                if t is None:
+                    return nxt
+                if best is None or t < best:
+                    best = t
+            if ctx.rob:
+                d = ctx.done[ctx.rob[0]]
+                if d is not None:
+                    t = d if d > nxt else nxt
+                    if best is None or t < best:
+                        best = t
+            if ctx.fetch_stalled_until > cycle \
+                    and ctx.blocked_on_branch is None:
+                t = ctx.fetch_stalled_until
+                if best is None or t < best:
+                    best = t
+        if self._ready_heap:
+            t = self._ready_heap[0][0]
+            if t < nxt:
+                t = nxt
+            if best is None or t < best:
+                best = t
+        return best if best is not None else _FAR_FUTURE
+
+    def fast_forward(self, cycle: int, target: int) -> None:
+        """Replay the RR rotation of the event machine's spin cycles.
+
+        While the VU is busy the event machine steps every cycle, and
+        each step rotates the fetch/commit round-robin pointers even
+        when nothing else happens.  A window skip over those cycles must
+        apply the same rotation to stay arbitration-identical.
+        """
+        nctx = len(self.contexts)
+        if nctx:
+            steps = target - cycle - 1
+            self._fetch_rr = (self._fetch_rr + steps) % nctx
+            self._commit_rr = (self._commit_rr + steps) % nctx
+
+    @property
+    def all_done(self) -> bool:
+        return all(ctx.halted and not ctx.rob for ctx in self.contexts)
+
+
+# -- vector unit -------------------------------------------------------------
+
+class _VFU:
+    """One partition-slice of a vector functional unit (as in vcl)."""
+
+    __slots__ = ("busy_until", "start", "occ", "vl")
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+        self.start = 0
+        self.occ = 0
+        self.vl = 0
+
+
+class _ColPartition:
+    """Positional port of the VCL :class:`~repro.timing.vcl.Partition`."""
+
+    __slots__ = ("idx", "k", "viq_capacity", "reserved", "arrivals", "viq",
+                 "lw_chain", "lw_full", "lw_prod", "fus", "ports",
+                 "last_completion", "rename_budget", "rename_pending",
+                 "util")
+
+    def __init__(self, idx: int, k: int, viq_capacity: int,
+                 arith_fus: int, mem_ports: int, rename_budget: int = 32):
+        self.idx = idx
+        self.k = k
+        self.viq_capacity = viq_capacity
+        self.reserved = 0
+        self.arrivals: list = []        # heap of (arrive_time, seq, ctx, pos)
+        self.viq: List[Tuple[_Ctx, int]] = []
+        # vector-side last writer, split into (chain, full) timestamps
+        # plus an in-flight producer slot ((ctx, pos) or None)
+        self.lw_chain = [0] * _NUM_VSIDE
+        self.lw_full = [0] * _NUM_VSIDE
+        self.lw_prod: List[Optional[Tuple[_Ctx, int]]] = [None] * _NUM_VSIDE
+        self.fus = [_VFU() for _ in range(arith_fus)]
+        self.ports = [_VFU() for _ in range(mem_ports)]
+        self.last_completion = 0
+        self.rename_budget = rename_budget
+        self.rename_pending: list = []   # heap of completion times
+        self.util = DatapathUtilization()
+
+    def rename_in_use(self, cycle: int) -> int:
+        pend = self.rename_pending
+        while pend and pend[0] <= cycle:
+            heapq.heappop(pend)
+        queued = sum(1 for (c, p) in self.viq
+                     if c.cols.flags[p] & _F_WRITES_VREG)
+        arriving = sum(1 for (_, _, c, p) in self.arrivals
+                       if c.cols.flags[p] & _F_WRITES_VREG)
+        return len(pend) + queued + arriving
+
+    @property
+    def pending(self) -> bool:
+        return bool(self.arrivals or self.viq)
+
+    def in_flight(self, cycle: int) -> bool:
+        if self.arrivals or self.viq:
+            return True
+        return any(f.busy_until > cycle for f in self.fus) or \
+            any(p.busy_until > cycle for p in self.ports)
+
+    def drain_end(self) -> int:
+        """Latest busy/completion time of this partition's datapath."""
+        end = self.last_completion
+        for u in self.fus:
+            if u.busy_until > end:
+                end = u.busy_until
+        for u in self.ports:
+            if u.busy_until > end:
+                end = u.busy_until
+        return end
+
+
+class _ColVectorUnit:
+    """Positional port of :class:`~repro.timing.vcl.VectorUnit`, with the
+    window-batched ``next_action`` / ``fast_forward`` extension."""
+
+    def __init__(self, cfg: VectorUnitConfig, l2: BankedL2,
+                 lane_split: List[int], bus: EventBus, invalidate=None):
+        self.cfg = cfg
+        self.l2 = l2
+        self.obs = bus
+        self._invalidate = invalidate
+        self.stats = VectorUnitStats()
+        self._folded_util = DatapathUtilization()
+        self.partitions: List[_ColPartition] = []
+        self._build_partitions(lane_split)
+        self._seq = 0
+        self._rr = 0
+        self.last_completion = 0
+
+    @property
+    def util(self) -> DatapathUtilization:
+        u = self._folded_util
+        if self.cfg.vu_smt:
+            return u.merged(self.partitions[0].util) if self.partitions \
+                else u
+        for part in self.partitions:
+            u = u.merged(part.util)
+        return u
+
+    def _build_partitions(self, lane_split: List[int]) -> None:
+        cfg = self.cfg
+        nparts = len(lane_split)
+        cap = max(2, cfg.viq_entries // nparts)
+        rename = max(1, cfg.phys_vregs - 32)
+        if cfg.vu_smt:
+            self.partitions = [
+                _ColPartition(i, cfg.lanes, cap, cfg.arith_fus,
+                              cfg.mem_ports, rename_budget=rename)
+                for i in range(nparts)]
+            shared_fus = self.partitions[0].fus
+            shared_ports = self.partitions[0].ports
+            for p in self.partitions[1:]:
+                p.fus = shared_fus
+                p.ports = shared_ports
+            return
+        self.partitions = [
+            _ColPartition(i, k, cap, cfg.arith_fus, cfg.mem_ports,
+                          rename_budget=rename)
+            for i, k in enumerate(lane_split)]
+
+    def repartition(self, num_parts: int, cycle: int) -> None:
+        if num_parts == len(self.partitions):
+            return
+        lanes = self.cfg.lanes
+        if num_parts < 1 or lanes % num_parts:
+            raise ValueError(
+                f"cannot split {lanes} lanes across {num_parts} threads")
+        if self.busy(cycle):
+            raise RuntimeError(
+                "vltcfg while vector work is in flight: reconfiguration "
+                "is only legal at quiesced region boundaries (Sec. 3.3)")
+        if self.cfg.vu_smt:
+            if self.partitions:
+                self._folded_util = \
+                    self._folded_util.merged(self.partitions[0].util)
+        else:
+            for part in self.partitions:
+                self._folded_util = self._folded_util.merged(part.util)
+        self._build_partitions([lanes // num_parts] * num_parts)
+        self._rr = 0
+
+    # -- SU-side interface ---------------------------------------------------
+
+    def can_accept(self, tid: int, cycle: int) -> bool:
+        if tid >= len(self.partitions):
+            raise RuntimeError(
+                f"thread {tid} issued a vector instruction but the lanes "
+                f"are partitioned for {len(self.partitions)} threads "
+                f"(vltcfg mismatch -- see paper Section 3.3)")
+        part = self.partitions[tid]
+        if part.reserved >= part.viq_capacity:
+            self.stats.viq_full_events += 1
+            obs = self.obs
+            if obs.enabled:
+                obs.emit(Event(cycle, STALL, f"VU.p{part.idx}", dur=1,
+                               reason=StallReason.VIQ_FULL))
+            return False
+        if part.rename_in_use(cycle) >= part.rename_budget:
+            self.stats.viq_full_events += 1
+            obs = self.obs
+            if obs.enabled:
+                obs.emit(Event(cycle, STALL, f"VU.p{part.idx}", dur=1,
+                               reason=StallReason.VRENAME_FULL))
+            return False
+        return True
+
+    def partition_idle(self, tid: int, cycle: int) -> bool:
+        if tid >= len(self.partitions):
+            return True
+        part = self.partitions[tid]
+        return not part.in_flight(cycle) and part.last_completion <= cycle
+
+    def dispatch(self, tid: int, ctx: _Ctx, pos: int, cycle: int,
+                 scalar_ready: int, pending: List[int]) -> None:
+        part = self.partitions[tid]
+        transfer = self.cfg.su_transfer
+        self._seq += 1
+        arrival = cycle + transfer
+        ctx.ready[pos] = max(arrival, scalar_ready + transfer)
+        ctx.unmet[pos] = len(pending)
+        subs = ctx.subs
+        for p in pending:
+            s = subs[p]
+            if s is None:
+                subs[p] = [pos]
+            else:
+                s.append(pos)
+        part.reserved += 1
+        heapq.heappush(part.arrivals, (arrival, self._seq, ctx, pos))
+
+    # -- per-cycle step ------------------------------------------------------
+
+    def step(self, cycle: int) -> None:
+        for part in self.partitions:
+            self._admit(part, cycle)
+        self._issue(cycle)
+        self._account(cycle)
+
+    def _admit(self, part: _ColPartition, cycle: int) -> None:
+        arr = part.arrivals
+        while arr and arr[0][0] <= cycle:
+            _, _, ctx, pos = heapq.heappop(arr)
+            ready = ctx.ready
+            for uid in ctx.cols.reads[pos]:
+                if uid < V_BASE or uid == VL_UID:
+                    continue
+                i = uid - V_BASE
+                prod = part.lw_prod[i]
+                if prod is None:
+                    t = part.lw_chain[i]
+                    if t > ready[pos]:
+                        ready[pos] = t
+                else:
+                    pctx, pp = prod
+                    vs = pctx.vsubs[pp]
+                    if vs is None:
+                        pctx.vsubs[pp] = [(ctx, pos)]
+                    else:
+                        vs.append((ctx, pos))
+                    ctx.vunmet[pos] += 1
+            for uid in ctx.cols.writes[pos]:
+                if uid >= V_BASE and uid != VL_UID:
+                    part.lw_prod[uid - V_BASE] = (ctx, pos)
+            part.viq.append((ctx, pos))
+
+    def _issue(self, cycle: int) -> None:
+        nparts = len(self.partitions)
+        if self.cfg.replicated_vcl:
+            for part in self.partitions:
+                self._issue_partition(part, cycle, self.cfg.issue_width)
+            return
+        budget = self.cfg.issue_width
+        start = self._rr
+        self._rr = (start + 1) % nparts
+        for k in range(nparts):
+            if budget == 0:
+                return
+            part = self.partitions[(start + k) % nparts]
+            budget = self._issue_partition(part, cycle, budget)
+
+    def _issue_partition(self, part: _ColPartition, cycle: int,
+                         budget: int) -> int:
+        viq = part.viq
+        i = 0
+        while i < len(viq) and budget:
+            ctx, pos = viq[i]
+            if (ctx.unmet[pos] or ctx.vunmet[pos]
+                    or ctx.ready[pos] > cycle):
+                i += 1
+                continue
+            is_mem = ctx.cols.pool[pos] == _P_VMEM
+            units = part.ports if is_mem else part.fus
+            fu_idx = None
+            for j, u in enumerate(units):
+                if u.busy_until <= cycle:
+                    fu_idx = j
+                    break
+            if fu_idx is None:
+                i += 1
+                continue
+            viq.pop(i)
+            part.reserved -= 1
+            self._execute(part, ctx, pos, is_mem, fu_idx, cycle)
+            budget -= 1
+        return budget
+
+    def _execute(self, part: _ColPartition, ctx: _Ctx, pos: int,
+                 is_mem: bool, fu_idx: int, cycle: int) -> None:
+        cols = ctx.cols
+        fl = cols.flags[pos]
+        fu = (part.ports if is_mem else part.fus)[fu_idx]
+        k = part.k
+        vl = cols.vl[pos]
+        occ = max(1, -(-vl // k))
+        self.stats.issued += 1
+        self.stats.element_ops += vl
+        obs = self.obs
+        if obs.enabled:
+            label = f"port{fu_idx}" if is_mem else f"fu{fu_idx}"
+            obs.emit(Event(cycle, VISSUE, f"VU.p{part.idx}", ctx.ops[pos],
+                           dur=occ, arg=label))
+
+        fu.busy_until = cycle + occ
+        fu.start = cycle
+        fu.occ = occ
+        fu.vl = vl
+
+        if is_mem:
+            ao = cols.a_off
+            addrs = cols.a_flat[ao[pos]:ao[pos + 1]]
+            n = int(addrs.size)
+            completion = self.l2.vector_access(
+                addrs, cycle + 1, addrs_per_cycle=k,
+                unit_stride=not fl & _F_STRIDED)
+            if fl & _F_STORE and n and self._invalidate is not None:
+                self._invalidate(addrs)
+            self.stats.mem_instrs += 1
+            self.stats.mem_elements += n
+            chain = full = completion
+        else:
+            completion = cycle + occ + cols.lat[pos]
+            chain = cycle + self.cfg.chain_delay
+            full = completion
+
+        if full > self.last_completion:
+            self.last_completion = full
+        if full > part.last_completion:
+            part.last_completion = full
+        if fl & _F_WRITES_VREG:
+            heapq.heappush(part.rename_pending, full)
+        me = (ctx, pos)
+        for uid in cols.writes[pos]:
+            if uid >= V_BASE and uid != VL_UID:
+                i = uid - V_BASE
+                if part.lw_prod[i] == me:
+                    part.lw_prod[i] = None
+                    part.lw_chain[i] = chain
+                    part.lw_full[i] = full
+        vs = ctx.vsubs[pos]
+        if vs:
+            ctx.vsubs[pos] = None
+            for cctx, cp in vs:
+                if chain > cctx.ready[cp]:
+                    cctx.ready[cp] = chain
+                cctx.vunmet[cp] -= 1
+        if fl & _F_WRITES_SCALAR:
+            # scalar results travel back to the SU (VEntry.sentry callback)
+            t = full + self.cfg.su_transfer
+            ctx.done[pos] = t
+            ctx.su.announce(ctx, pos, t)
+
+    # -- utilization accounting ----------------------------------------------
+
+    def _account(self, cycle: int) -> None:
+        if self.cfg.vu_smt:
+            part = self.partitions[0]
+            util = part.util
+            pending = any(p.pending for p in self.partitions)
+            k = part.k
+            for fu in part.fus:
+                if fu.busy_until > cycle:
+                    i = cycle - fu.start
+                    active = k if i < fu.occ - 1 else \
+                        max(0, min(k, fu.vl - k * (fu.occ - 1)))
+                    util.busy += active
+                    util.partly_idle += k - active
+                elif pending:
+                    util.stalled += k
+            return
+        for part in self.partitions:
+            util = part.util
+            k = part.k
+            pending = part.pending
+            for fu in part.fus:
+                if fu.busy_until > cycle:
+                    i = cycle - fu.start
+                    if i < fu.occ - 1:
+                        active = k
+                    else:
+                        active = fu.vl - k * (fu.occ - 1)
+                        if active < 0:
+                            active = 0
+                        elif active > k:
+                            active = k
+                    util.busy += active
+                    util.partly_idle += k - active
+                elif pending:
+                    util.stalled += k
+
+    def partition_utils(self, cycles: int):
+        fus = self.cfg.arith_fus
+        if self.cfg.vu_smt:
+            parts = self.partitions[:1]
+        else:
+            parts = self.partitions
+        utils: List[DatapathUtilization] = []
+        lanes: List[int] = []
+        for part in parts:
+            u = part.util
+            total = fus * part.k * cycles
+            utils.append(DatapathUtilization(
+                busy=u.busy, partly_idle=u.partly_idle, stalled=u.stalled,
+                all_idle=max(0, total - u.busy - u.partly_idle - u.stalled)))
+            lanes.append(part.k)
+        return utils, lanes
+
+    # -- idle detection / window batching ------------------------------------
+
+    def busy(self, cycle: int) -> bool:
+        if self.last_completion > cycle:
+            return True
+        return any(p.in_flight(cycle) for p in self.partitions)
+
+    def drain_bound(self, tid: int, cycle: int) -> Optional[int]:
+        """First cycle at which ``partition_idle(tid)`` becomes true, or
+        None when instructions are still queued (drain time unknown)."""
+        if tid >= len(self.partitions):
+            return None
+        part = self.partitions[tid]
+        if part.arrivals or part.viq:
+            return None
+        end = part.drain_end()
+        nxt = cycle + 1
+        return end if end > nxt else nxt
+
+    def next_action(self, cycle: int) -> int:
+        """Earliest future cycle at which stepping the (busy) vector unit
+        can do anything beyond per-cycle accounting.  Conservative: any
+        ready-but-blocked instruction pins the result to ``cycle + 1``."""
+        nxt = cycle + 1
+        best = None
+        queued = False
+        for part in self.partitions:
+            arr = part.arrivals
+            if arr:
+                queued = True
+                t = arr[0][0]
+                if t <= nxt:
+                    return nxt
+                if best is None or t < best:
+                    best = t
+            if part.viq:
+                queued = True
+                for ctx, pos in part.viq:
+                    if ctx.unmet[pos] or ctx.vunmet[pos]:
+                        continue
+                    t = ctx.ready[pos]
+                    if t <= nxt:
+                        return nxt
+                    if best is None or t < best:
+                        best = t
+        if not queued:
+            end = self.last_completion
+            for part in self.partitions:
+                t = part.drain_end()
+                if t > end:
+                    end = t
+            t = end if end > nxt else nxt
+            if best is None or t < best:
+                best = t
+        return best if best is not None else nxt
+
+    def fast_forward(self, cycle: int, target: int) -> None:
+        """Replay the per-cycle effects of stepping through the no-op
+        window ``[cycle + 1, target)`` in closed form: the round-robin
+        pointer advance and the datapath accounting."""
+        t0 = cycle + 1
+        if target <= t0:
+            return
+        if not self.cfg.replicated_vcl and self.partitions:
+            self._rr = (self._rr + (target - t0)) % len(self.partitions)
+        self._account_window(t0, target)
+
+    def _account_window(self, t0: int, t1: int) -> None:
+        span = t1 - t0
+        if self.cfg.vu_smt:
+            parts = self.partitions[:1]
+            pending_smt = any(p.pending for p in self.partitions)
+        else:
+            parts = self.partitions
+            pending_smt = False
+        for part in parts:
+            util = part.util
+            k = part.k
+            pending = pending_smt if self.cfg.vu_smt else part.pending
+            for fu in part.fus:
+                bu = fu.busy_until
+                bcnt = (bu if bu < t1 else t1) - t0
+                if bcnt > 0:
+                    last = bu - 1
+                    if t0 <= last < t1:
+                        # the final occupied cycle covers the VL remainder
+                        active = fu.vl - k * (fu.occ - 1)
+                        if active < 0:
+                            active = 0
+                        elif active > k:
+                            active = k
+                        util.busy += k * (bcnt - 1) + active
+                        util.partly_idle += k - active
+                    else:
+                        util.busy += k * bcnt
+                    if pending and bcnt < span:
+                        util.stalled += k * (span - bcnt)
+                elif pending:
+                    util.stalled += k * span
+
+
+# -- steady-state memoisation ------------------------------------------------
+
+#: consecutive fingerprint mismatches at one anchor before blacklisting it
+_SS_MAX_FAILS = 4
+#: concurrently armed anchors (recorder overhead is per attached dict)
+_SS_MAX_ARMED = 2
+
+
+class _Armed:
+    """Snapshot taken when an anchor pc shows a stable cadence."""
+
+    __slots__ = ("cycle", "fetch", "period", "delta", "fp", "fetch_base",
+                 "seq_base", "vseq", "stat_base", "util_objs", "util_base",
+                 "folded_obj", "folded_base", "bc", "rel_len", "recs")
+
+
+class ColumnarMachine:
+    """Array-replay timing machine, bit-identical to :class:`Machine`.
+
+    ``columns`` supplies the per-thread ``ThreadTrace.columns()`` views
+    (derived from ``traces`` when omitted); ``steady_skip=False``
+    disables the period memoisation (the window batching remains), which
+    the equivalence tests use to pin skip-vs-noskip identity.
+    """
+
+    def __init__(self, cfg: MachineConfig, traces: List[List[DynOp]],
+                 max_cycles: int = 50_000_000, hook=None,
+                 obs: Optional[EventBus] = None, columns=None,
+                 steady_skip: bool = True):
+        from .machine import _LegacyHookSink
+        self.cfg = cfg
+        self.num_threads = len(traces)
+        self.max_cycles = max_cycles
+        self.obs = obs if obs is not None else EventBus()
+        self.hook = hook
+        if hook is not None:
+            self.obs.attach(_LegacyHookSink(hook))
+        if columns is None:
+            from ..functional.trace import ThreadTrace
+            columns = []
+            for tid, ops in enumerate(traces):
+                tt = ThreadTrace(tid)
+                tt.ops = list(ops)
+                columns.append(tt.columns())
+        self._cols = [_derive(c) for c in columns]
+        self.l2 = BankedL2(cfg.l2, bus=self.obs)
+        # swap the L2 tag array for the recordable variant up front, so
+        # the code pre-touch below lands in the recorded object
+        l2c = cfg.l2
+        self.l2.tags = _RecCache(l2c.size_kib * 1024, l2c.assoc, l2c.line,
+                                 name="L2", bus=self.obs)
+        self.sus: List[_ColScalarUnit] = [
+            _ColScalarUnit(self, i, su_cfg, self.l2)
+            for i, su_cfg in enumerate(cfg.scalar_units)]
+        self.lane_cores: List[LaneCore] = []
+        self.vu: Optional[_ColVectorUnit] = None
+        self._threads: Dict[int, Tuple] = {}
+        self._finish: List[Optional[int]] = [None] * self.num_threads
+        self._halted_count = 0
+        self._barrier_arrived = 0
+        self._barrier_latest = 0
+        self.barrier_count = 0
+        self.barrier_release_cycles: List[int] = []
+
+        # pre-touch code lines in the L2 (as the event machine does)
+        max_pc = max((int(c.pcs.max()) if c.n else 0)
+                     for c in self._cols) if self._cols else 0
+        line = cfg.l2.line
+        self.obs.suppress()
+        try:
+            for addr in range(CODE_BASE,
+                              CODE_BASE + (max_pc + 1) * INSTR_BYTES + line,
+                              line):
+                self.l2.tags.access(addr)
+        finally:
+            self.obs.unsuppress()
+
+        if cfg.lane_scalar_mode:
+            self.lane_cores = [
+                LaneCore(self, i, cfg.lane_core, self.l2)
+                for i in range(cfg.vu.lanes)]
+            for tid, (lane, _) in enumerate(cfg.placement(self.num_threads)):
+                core = self.lane_cores[lane]
+                core.add_thread(tid, traces[tid])
+                self._threads[tid] = ("lane", core, None)
+        else:
+            if cfg.vu is not None:
+                self.vu = _ColVectorUnit(
+                    cfg.vu, self.l2, cfg.lane_partitions(self.num_threads),
+                    bus=self.obs,
+                    invalidate=lambda addrs: self.l1d_invalidate_lines(
+                        addrs, line))
+            for tid, (u, _ctx) in enumerate(cfg.placement(self.num_threads)):
+                ctx = self.sus[u].add_thread(tid, traces[tid],
+                                             self._cols[tid])
+                self._threads[tid] = ("su", self.sus[u], ctx)
+
+        # steady-state machinery
+        self._ss_enabled = steady_skip
+        self._anchor_ctx: Optional[_Ctx] = None
+        self._anchor_pc = -1
+        self._ss_hist: Dict[int, Tuple[int, int]] = {}
+        self._ss_armed: Dict[int, _Armed] = {}
+        self._ss_fail: Dict[int, int] = {}
+        self._ss_dead: set = set()
+        self._cells = None
+        self._recorders: List = [self.l2.tags]
+        for su in self.sus:
+            self._recorders += [su.l1i, su.l1d, su.bpred]
+
+    # -- barrier / completion callbacks (as in Machine) ----------------------
+
+    def barrier_arrive(self, tid: int, time: int) -> None:
+        self._barrier_arrived += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(Event(time, BARRIER_ARRIVE, f"t{tid}",
+                           arg=self.barrier_count))
+        if time > self._barrier_latest:
+            self._barrier_latest = time
+        if self._barrier_arrived == self.num_threads:
+            release = self._barrier_latest + self.cfg.barrier_overhead
+            self._barrier_arrived = 0
+            self._barrier_latest = 0
+            self.barrier_count += 1
+            self.barrier_release_cycles.append(release)
+            if obs.enabled:
+                obs.emit(Event(time, BARRIER_RELEASE, f"t{tid}",
+                               dur=max(0, release - time),
+                               arg=self.barrier_count - 1))
+            for kind, unit, ctx in self._threads.values():
+                if kind == "su":
+                    if ctx.waiting_barrier:
+                        ctx.waiting_barrier = False
+                        if release > ctx.fetch_stalled_until:
+                            ctx.fetch_stalled_until = release
+                else:
+                    if unit.waiting_barrier:
+                        unit.resume(release)
+
+    def thread_halted(self, tid: int, time: int) -> None:
+        if self._finish[tid] is None:
+            self._finish[tid] = time
+            self._halted_count += 1
+
+    def l1d_invalidate(self, addr: int, except_su=None) -> None:
+        for su in self.sus:
+            if su is not except_su:
+                su.l1d.invalidate(addr)
+
+    def l1d_invalidate_lines(self, addrs, line: int) -> None:
+        if not self.sus:
+            return
+        seen = set()
+        for a in addrs:
+            ln = int(a) // line
+            if ln not in seen:
+                seen.add(ln)
+                for su in self.sus:
+                    su.l1d.invalidate(ln * line)
+
+    def vltcfg_request(self, tid: int, n: int, cycle: int) -> None:
+        if self.vu is None:
+            return
+        if n == 0:
+            n = self.num_threads
+        self.vu.repartition(n, cycle)
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(Event(cycle, VLCFG, f"t{tid}", arg=n))
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        return self._result(self.run_loop())
+
+    def run_loop(self) -> int:
+        from .machine import SimulationError
+        cycle = 0
+        sus = self.sus
+        vu = self.vu
+        cores = self.lane_cores
+        obs = self.obs
+        obs_on = obs.enabled
+        ss_on = (self._ss_enabled and not obs_on and not cores
+                 and bool(sus) and bool(sus[0].contexts))
+        self._anchor_ctx = sus[0].contexts[0] if ss_on else None
+        self._anchor_pc = -1
+        while True:
+            if obs_on:
+                obs.now = cycle
+            vu_busy = vu is not None and vu.busy(cycle)
+            for su in sus:
+                su.step(cycle)
+            if vu_busy:
+                vu.step(cycle)
+                vu_busy = vu.busy(cycle)
+            elif vu is not None:
+                vu_busy = vu.busy(cycle)
+            for core in cores:
+                core.step(cycle)
+
+            if self._halted_count == self.num_threads:
+                drained = all(su.all_done or not su.contexts for su in sus)
+                if drained and not vu_busy:
+                    break
+
+            if ss_on and self._anchor_pc >= 0:
+                pc = self._anchor_pc
+                self._anchor_pc = -1
+                if pc not in self._ss_dead:
+                    jumped = self._ss_anchor(pc, cycle)
+                    if jumped is not None:
+                        # state is post-step at the landing cycle; fall
+                        # through to the next-event computation directly
+                        cycle = jumped
+                        vu_busy = vu is not None and vu.busy(cycle)
+
+            nxt = cycle + 1
+            best = _FAR_FUTURE
+            for su in sus:
+                t = su.next_event(cycle)
+                if t < best:
+                    best = t
+            if vu_busy:
+                t = vu.next_action(cycle)
+                if t < best:
+                    best = t
+                if best >= _FAR_FUTURE:
+                    best = nxt
+            for core in cores:
+                t = core.next_event(cycle)
+                if t < best:
+                    best = t
+            if best > nxt and best < _FAR_FUTURE:
+                if vu_busy:
+                    # the event machine steps every cycle while the VU
+                    # is busy: batch those steps' side effects
+                    vu.fast_forward(cycle, best)
+                    for su in sus:
+                        su.fast_forward(cycle, best)
+                cycle = best
+            elif best >= _FAR_FUTURE and self._halted_count < self.num_threads:
+                raise SimulationError(
+                    f"{self.cfg.name}: no unit can make progress at cycle "
+                    f"{cycle} with {self.num_threads - self._halted_count} "
+                    f"threads unfinished (model deadlock)")
+            else:
+                cycle = nxt
+            if cycle > self.max_cycles:
+                raise SimulationError(
+                    f"{self.cfg.name}: exceeded {self.max_cycles} cycles")
+
+        return cycle
+
+    # -- steady-state detection ----------------------------------------------
+
+    def _ss_anchor(self, pc: int, cycle: int) -> Optional[int]:
+        """An anchor branch at ``pc`` was dispatched this cycle: try to
+        jump over repeated periods, else (re-)arm the detector."""
+        ctx = self._anchor_ctx
+        f = ctx.fetch_idx
+        hist = self._ss_hist
+        prev = hist.get(pc)
+        hist[pc] = (cycle, f)
+        armed = self._ss_armed.pop(pc, None)
+        if armed is not None:
+            for r, d in armed.recs:
+                # by identity: two recorders' dicts may compare equal
+                r._recs = [x for x in r._recs if x is not d]
+            if (cycle - armed.cycle == armed.period
+                    and f - armed.fetch == armed.delta):
+                jumped = self._ss_try_jump(armed, cycle)
+                if jumped is not None and jumped >= 0:
+                    self._ss_fail[pc] = 0
+                    return jumped
+                if jumped == -1:     # state matched, trace ran out of room
+                    self._ss_fail[pc] = 0
+                else:
+                    fails = self._ss_fail.get(pc, 0) + 1
+                    self._ss_fail[pc] = fails
+                    if fails >= _SS_MAX_FAILS:
+                        self._ss_dead.add(pc)
+                        return None
+            # cadence mismatch is not a strike: the loop may be settling
+        if prev is not None and len(self._ss_armed) < _SS_MAX_ARMED:
+            period = cycle - prev[0]
+            delta = f - prev[1]
+            if period > 0 and delta > 0:
+                self._ss_arm(pc, cycle, f, period, delta)
+        return None
+
+    def _ss_cells(self) -> list:
+        """Every statistics counter that accrues during the replay loop,
+        as (object, attribute) cells for per-period delta scaling."""
+        cells = []
+        for su in self.sus:
+            s = su.stats
+            for attr in ("fetched", "issued", "committed",
+                         "branch_lookups", "branch_mispredicts",
+                         "l1i_accesses", "l1i_misses", "l1d_accesses",
+                         "l1d_misses", "fetch_stall_cycles",
+                         "dispatch_stall_viq"):
+                cells.append((s, attr))
+            cells.append((su.bpred, "lookups"))
+            cells.append((su.bpred, "mispredicts"))
+            for c in (su.l1i, su.l1d):
+                cells.append((c.stats, "accesses"))
+                cells.append((c.stats, "misses"))
+        cells.append((self.l2.tags.stats, "accesses"))
+        cells.append((self.l2.tags.stats, "misses"))
+        ls = self.l2.stats
+        for attr in ("scalar_accesses", "vector_elements",
+                     "vector_line_txns", "bank_conflict_cycles"):
+            cells.append((ls, attr))
+        if self.vu is not None:
+            vs = self.vu.stats
+            for attr in ("issued", "element_ops", "mem_instrs",
+                         "mem_elements", "viq_full_events"):
+                cells.append((vs, attr))
+        return cells
+
+    def _ss_arm(self, pc: int, cycle: int, f: int, period: int,
+                delta: int) -> None:
+        fp, _ = self._ss_fingerprint(cycle)
+        if self._cells is None:
+            self._cells = self._ss_cells()
+        a = _Armed()
+        a.cycle = cycle
+        a.fetch = f
+        a.period = period
+        a.delta = delta
+        a.fp = fp
+        a.fetch_base = {c: c.fetch_idx
+                        for su in self.sus for c in su.contexts}
+        a.seq_base = {su: su._seq for su in self.sus}
+        vu = self.vu
+        a.vseq = vu._seq if vu is not None else 0
+        a.stat_base = [getattr(o, at) for o, at in self._cells]
+        if vu is not None:
+            a.util_objs = [p.util for p in vu.partitions]
+            a.util_base = [(u.busy, u.partly_idle, u.stalled)
+                           for u in a.util_objs]
+            a.folded_obj = vu._folded_util
+            a.folded_base = (a.folded_obj.busy, a.folded_obj.partly_idle,
+                             a.folded_obj.stalled)
+        else:
+            a.util_objs = []
+            a.util_base = []
+            a.folded_obj = None
+            a.folded_base = None
+        a.bc = self.barrier_count
+        a.rel_len = len(self.barrier_release_cycles)
+        a.recs = []
+        for r in self._recorders:
+            d: dict = {}
+            r._recs.append(d)
+            a.recs.append((r, d))
+        self._ss_armed[pc] = a
+
+    def _ss_fingerprint(self, C: int):
+        """Normalised full-machine state: times relative to ``C`` (stale
+        past values collapse to 0), trace positions relative to each
+        context's fetch index, sequence numbers relative to each unit's
+        counter.  Two cycles with equal fingerprints behave identically
+        modulo those shifts.  Also collects every live (ctx, pos)."""
+        live = []
+        sus_fp = []
+        for su in self.sus:
+            sb = su._seq
+            ctx_fps = []
+            for ctx in su.contexts:
+                f = ctx.fetch_idx
+                ready = ctx.ready
+                done = ctx.done
+                unmet = ctx.unmet
+                vunmet = ctx.vunmet
+                seqno = ctx.seqno
+                subs = ctx.subs
+                misp = ctx.misp
+                rob_fp = []
+                for p in ctx.rob:
+                    live.append((ctx, p))
+                    d = done[p]
+                    s = subs[p]
+                    r = ready[p]
+                    rob_fp.append((
+                        p - f,
+                        None if d is None else (d - C if d > C else 0),
+                        unmet[p], vunmet[p],
+                        r - C if r > C else 0,
+                        seqno[p] - sb,
+                        p in misp,
+                        None if s is None else tuple(c - f for c in s)))
+                lw_fp = []
+                for v in ctx.last_writer:
+                    if v >= 0:
+                        lw_fp.append(v - C if v > C else 0)
+                    else:
+                        lw_fp.append((-v - 1 - f,))
+                bob = ctx.blocked_on_branch
+                fsu = ctx.fetch_stalled_until
+                ctx_fps.append((
+                    ctx.halted, ctx.waiting_barrier, ctx.last_iline,
+                    fsu - C if fsu > C else 0,
+                    None if bob is None else bob - f,
+                    ctx.finish_time,
+                    tuple(rob_fp), tuple(lw_fp),
+                    tuple(sorted(p - f for p in misp))))
+            heap_fp = tuple(
+                (t - C if t > C else 0, s - sb, hc.ctx_idx,
+                 p - hc.fetch_idx)
+                for (t, s, hc, p) in su._ready_heap)
+            qa_fp = tuple((s - sb, hc.ctx_idx, p - hc.fetch_idx)
+                          for (s, hc, p) in su._issueq_arith)
+            qm_fp = tuple((s - sb, hc.ctx_idx, p - hc.fetch_idx)
+                          for (s, hc, p) in su._issueq_mem)
+            sus_fp.append((su._fetch_rr, su._commit_rr, su.rob_occupancy,
+                           heap_fp, qa_fp, qm_fp, tuple(ctx_fps)))
+        vu = self.vu
+        vu_fp = None
+        if vu is not None:
+            vb = vu._seq
+            parts_fp = []
+            for part in vu.partitions:
+                arr_fp = []
+                for (t, s, actx, p) in part.arrivals:
+                    live.append((actx, p))
+                    arr_fp.append((t - C if t > C else 0, s - vb,
+                                   actx.ctx_idx, p - actx.fetch_idx))
+                viq_fp = []
+                for (vctx, p) in part.viq:
+                    live.append((vctx, p))
+                    vs = vctx.vsubs[p]
+                    r = vctx.ready[p]
+                    viq_fp.append((
+                        vctx.ctx_idx, p - vctx.fetch_idx,
+                        vctx.unmet[p], vctx.vunmet[p],
+                        r - C if r > C else 0,
+                        None if vs is None else tuple(
+                            (cc.ctx_idx, cp - cc.fetch_idx)
+                            for (cc, cp) in vs)))
+                pend = part.rename_pending
+                while pend and pend[0] <= C:
+                    heapq.heappop(pend)
+                prod_fp = []
+                for i in range(_NUM_VSIDE):
+                    pr = part.lw_prod[i]
+                    if pr is None:
+                        ch = part.lw_chain[i]
+                        fu_ = part.lw_full[i]
+                        prod_fp.append((ch - C if ch > C else 0,
+                                        fu_ - C if fu_ > C else 0))
+                    else:
+                        pctx, pp = pr
+                        prod_fp.append((pctx.ctx_idx,
+                                        pp - pctx.fetch_idx, True))
+                fu_fp = tuple(
+                    (u.busy_until - C, u.start - C, u.occ, u.vl)
+                    if u.busy_until > C else 0
+                    for u in part.fus + part.ports)
+                lc = part.last_completion
+                parts_fp.append((
+                    part.k, part.viq_capacity, part.reserved,
+                    part.rename_budget, tuple(arr_fp), tuple(viq_fp),
+                    tuple(prod_fp), tuple(t - C for t in pend), fu_fp,
+                    lc - C if lc > C else 0))
+            lc = vu.last_completion
+            vu_fp = (vu._rr, len(vu.partitions),
+                     lc - C if lc > C else 0, tuple(parts_fp))
+        lat = self._barrier_latest
+        mach_fp = (self._barrier_arrived,
+                   0 if self._barrier_arrived == 0 else
+                   (lat - C if lat > C else 0),
+                   self._halted_count, tuple(self._finish),
+                   tuple(b - C if b > C else 0 for b in self.l2.bank_free))
+        return (tuple(sus_fp), vu_fp, mach_fp), live
+
+    def _ss_try_jump(self, armed: _Armed, C: int) -> Optional[int]:
+        """Return the landing cycle after jumping k periods, -1 when the
+        state matches but no whole period fits, None on mismatch."""
+        fp, live = self._ss_fingerprint(C)
+        if fp != armed.fp:
+            return None
+        for r, d in armed.recs:
+            if not r.rec_equal(d):
+                return None
+        vu = self.vu
+        if vu is not None:
+            if armed.folded_obj is not vu._folded_util:
+                return None
+            if len(armed.util_objs) != len(vu.partitions):
+                return None
+            for u, p in zip(armed.util_objs, vu.partitions):
+                if u is not p.util:
+                    return None
+        P = armed.period
+        deltas = {}
+        for su in self.sus:
+            for ctx in su.contexts:
+                d = ctx.fetch_idx - armed.fetch_base.get(ctx, -1)
+                if d < 0:
+                    return None
+                deltas[ctx] = d
+        # every in-flight op must equal its image one period back
+        for (ctx, p) in live:
+            q = p - deltas[ctx]
+            if q < 0 or not _ops_equal(ctx.cols, p, q):
+                return None
+        # how many more whole periods does the trace itself repeat?
+        k = None
+        for ctx, d in deltas.items():
+            if d == 0:
+                continue        # positionally frozen across the period
+            kt = _periods_ahead(ctx.cols, ctx.fetch_idx, d)
+            if k is None or kt < k:
+                k = kt
+        if k is None:
+            return None
+        kmax = (self.max_cycles - C) // P
+        if k > kmax:
+            k = kmax
+        if k <= 0:
+            return -1
+        self._ss_jump(armed, C, k, deltas, live)
+        return C + k * P
+
+    def _ss_jump(self, armed: _Armed, C: int, k: int, deltas: dict,
+                 live: list) -> None:
+        """Advance the whole machine by k periods in closed form."""
+        P = armed.period
+        kP = k * P
+        per_ctx: Dict[_Ctx, set] = {}
+        for (ctx, p) in live:
+            per_ctx.setdefault(ctx, set()).add(p)
+        for su in self.sus:
+            kseq = k * (su._seq - armed.seq_base[su])
+            su._seq += kseq
+            for ctx in su.contexts:
+                kd = k * deltas[ctx]
+                ready = ctx.ready
+                done = ctx.done
+                unmet = ctx.unmet
+                vunmet = ctx.vunmet
+                seqno = ctx.seqno
+                subs = ctx.subs
+                vsubs = ctx.vsubs
+                for p in sorted(per_ctx.get(ctx, ()), reverse=True):
+                    q = p + kd
+                    ready[q] = ready[p] + kP
+                    dv = done[p]
+                    done[q] = None if dv is None else dv + kP
+                    unmet[q] = unmet[p]
+                    vunmet[q] = vunmet[p]
+                    seqno[q] = seqno[p] + kseq
+                    sl = subs[p]
+                    subs[q] = None if sl is None else [c + kd for c in sl]
+                    vl_ = vsubs[p]
+                    vsubs[q] = None if vl_ is None else \
+                        [(cc, cp + kd) for (cc, cp) in vl_]
+                ctx.rob = [p + kd for p in ctx.rob]
+                ctx.misp = {p + kd for p in ctx.misp}
+                if ctx.blocked_on_branch is not None:
+                    ctx.blocked_on_branch += kd
+                ctx.fetch_idx += kd
+                ctx.fetch_stalled_until += kP
+                lw = ctx.last_writer
+                for i in range(NUM_REG_UIDS):
+                    v = lw[i]
+                    lw[i] = v + kP if v >= 0 else v - kd
+            su._ready_heap = [
+                (t + kP, s + kseq, hc, p + k * deltas[hc])
+                for (t, s, hc, p) in su._ready_heap]
+            su._issueq_arith = [
+                (s + kseq, hc, p + k * deltas[hc])
+                for (s, hc, p) in su._issueq_arith]
+            su._issueq_mem = [
+                (s + kseq, hc, p + k * deltas[hc])
+                for (s, hc, p) in su._issueq_mem]
+        vu = self.vu
+        if vu is not None:
+            kv = k * (vu._seq - armed.vseq)
+            vu._seq += kv
+            vu.last_completion += kP
+            seen = set()
+            for part in vu.partitions:
+                part.arrivals = [
+                    (t + kP, s + kv, ac, p + k * deltas[ac])
+                    for (t, s, ac, p) in part.arrivals]
+                part.viq = [(vc, p + k * deltas[vc])
+                            for (vc, p) in part.viq]
+                for i in range(_NUM_VSIDE):
+                    pr = part.lw_prod[i]
+                    if pr is None:
+                        part.lw_chain[i] += kP
+                        part.lw_full[i] += kP
+                    else:
+                        part.lw_prod[i] = (pr[0],
+                                           pr[1] + k * deltas[pr[0]])
+                part.rename_pending = [t + kP
+                                       for t in part.rename_pending]
+                part.last_completion += kP
+                for u in part.fus:
+                    if id(u) not in seen:       # smt shares FU objects
+                        seen.add(id(u))
+                        u.busy_until += kP
+                        u.start += kP
+                for u in part.ports:
+                    if id(u) not in seen:
+                        seen.add(id(u))
+                        u.busy_until += kP
+                        u.start += kP
+        self.l2.bank_free = [b + kP for b in self.l2.bank_free]
+        dbc = self.barrier_count - armed.bc
+        if dbc:
+            self.barrier_count += k * dbc
+        rel = self.barrier_release_cycles
+        tail = rel[armed.rel_len:]
+        if tail:
+            for j in range(1, k + 1):
+                jp = j * P
+                rel.extend(r + jp for r in tail)
+        for (o, at), base in zip(self._cells, armed.stat_base):
+            cur = getattr(o, at)
+            if cur != base:
+                setattr(o, at, cur + k * (cur - base))
+        if vu is not None:
+            for u, (b, pi, st) in zip(armed.util_objs, armed.util_base):
+                u.busy += k * (u.busy - b)
+                u.partly_idle += k * (u.partly_idle - pi)
+                u.stalled += k * (u.stalled - st)
+            fo = vu._folded_util
+            fb = armed.folded_base
+            fo.busy += k * (fo.busy - fb[0])
+            fo.partly_idle += k * (fo.partly_idle - fb[1])
+            fo.stalled += k * (fo.stalled - fb[2])
+        kd_anchor = k * deltas[self._anchor_ctx]
+        self._ss_hist = {pc: (c + kP, f + kd_anchor)
+                         for pc, (c, f) in self._ss_hist.items()}
+
+    # -- result assembly (as in Machine) -------------------------------------
+
+    def _result(self, cycles: int) -> RunResult:
+        util = DatapathUtilization()
+        vu_stats = None
+        part_utils: List[DatapathUtilization] = []
+        part_lanes: List[int] = []
+        if self.vu is not None:
+            vu_stats = self.vu.stats
+            u = self.vu.util
+            total = self.cfg.vu.arith_fus * self.cfg.vu.lanes * cycles
+            util = DatapathUtilization(
+                busy=u.busy, partly_idle=u.partly_idle, stalled=u.stalled,
+                all_idle=max(0, total - u.busy - u.partly_idle - u.stalled))
+            part_utils, part_lanes = self.vu.partition_utils(cycles)
+        su_stats = []
+        for su in self.sus:
+            s = su.stats
+            s.branch_lookups = su.bpred.lookups
+            s.branch_mispredicts = su.bpred.mispredicts
+            s.l1i_accesses = su.l1i.stats.accesses
+            s.l1i_misses = su.l1i.stats.misses
+            s.l1d_accesses = su.l1d.stats.accesses
+            s.l1d_misses = su.l1d.stats.misses
+            su_stats.append(s)
+        return RunResult(
+            config_name=self.cfg.name,
+            program_name="",
+            num_threads=self.num_threads,
+            cycles=cycles,
+            utilization=util,
+            scalar_units=su_stats,
+            vector_unit=vu_stats,
+            lane_cores=[c.stats for c in self.lane_cores],
+            thread_finish=[f if f is not None else cycles
+                           for f in self._finish],
+            barrier_count=self.barrier_count,
+            l2_bank_conflict_cycles=self.l2.stats.bank_conflict_cycles,
+            phase_release_cycles=list(self.barrier_release_cycles),
+            partition_utilization=part_utils,
+            partition_lanes=part_lanes,
+        )
+
+

@@ -125,12 +125,15 @@ def simulate(program: Program, cfg: MachineConfig, num_threads: int = 1,
              max_cycles: int = 50_000_000,
              trace: Optional[ProgramTrace] = None,
              obs: Optional[EventBus] = None,
-             profiler: Optional[PhaseProfiler] = None) -> RunResult:
+             profiler: Optional[PhaseProfiler] = None,
+             engine: str = "event") -> RunResult:
     """Run ``program`` on machine ``cfg`` and return timing results.
 
     ``obs`` attaches an observability event bus (see :mod:`repro.obs`);
     ``profiler`` records host-side wall time per simulation phase.
-    Neither affects simulated cycle counts.
+    Neither affects simulated cycle counts.  ``engine`` picks the replay
+    engine -- ``"event"`` (the per-event oracle) or ``"columnar"`` (the
+    NumPy array-replay engine, verified bit-identical).
     """
     if profiler is None:
         profiler = _default_profiler
@@ -139,7 +142,7 @@ def simulate(program: Program, cfg: MachineConfig, num_threads: int = 1,
     elif trace.num_threads != num_threads:
         raise ValueError("supplied trace has a different thread count")
     return run_traces(cfg, trace, max_cycles=max_cycles, obs=obs,
-                      profiler=profiler)
+                      profiler=profiler, engine=engine)
 
 
 @dataclass
@@ -159,7 +162,8 @@ def simulate_traced(program: Program, cfg: MachineConfig,
                     trace: Optional[ProgramTrace] = None,
                     max_events: int = 1_000_000,
                     kinds: Optional[frozenset] = None,
-                    start_cycle: int = 0) -> TracedRun:
+                    start_cycle: int = 0,
+                    engine: str = "event") -> TracedRun:
     """Run with the full observability stack attached.
 
     Wires an :class:`EventLog` (for exporters), a :class:`MetricsSink`
@@ -177,7 +181,7 @@ def simulate_traced(program: Program, cfg: MachineConfig,
     prof = PhaseProfiler()
     result = simulate(program, cfg, num_threads=num_threads,
                       max_cycles=max_cycles, trace=trace, obs=bus,
-                      profiler=prof)
+                      profiler=prof, engine=engine)
     result.metrics = sink.registry
     return TracedRun(result=result, events=log, metrics=sink.registry,
                      metrics_sink=sink, profiler=prof)

@@ -102,10 +102,11 @@ class DifferentialMismatch(AssertionError):
 
 
 def _run_timing(cfg: MachineConfig, trace: ProgramTrace, max_cycles: int,
-                bus: EventBus) -> RunResult:
+                bus: EventBus, engine: str = "event") -> RunResult:
     """Seam for the timing replay (tests monkeypatch this to inject
     timing bugs and exercise the checker + shrinker)."""
-    return run_traces(cfg, trace, max_cycles=max_cycles, obs=bus)
+    return run_traces(cfg, trace, max_cycles=max_cycles, obs=bus,
+                      engine=engine)
 
 
 class _CommitCollector:
@@ -292,12 +293,17 @@ def _expect_once(expected: List[int], got: List[int], ops,
 def differential_check(program: Program, cfg: MachineConfig,
                        num_threads: int = 1,
                        max_cycles: int = 50_000_000,
-                       trace: Optional[ProgramTrace] = None) -> DiffReport:
+                       trace: Optional[ProgramTrace] = None,
+                       engine: str = "event") -> DiffReport:
     """Cross-check one timing run against the functional executor.
 
     ``trace`` overrides the trace under test (defaults to the cached
     :func:`~repro.timing.run.trace_for` path, i.e. exactly what a
-    normal ``simulate`` call would replay).  Returns a
+    normal ``simulate`` call would replay).  ``engine`` selects the
+    timing replay engine under test -- with ``engine="columnar"`` the
+    commit/issue streams of the columnar machine are checked against
+    the same functional reference, which (combined with cycle-count
+    comparison) is the columnar-vs-event gate.  Returns a
     :class:`DiffReport`; ``report.ok`` means full agreement.
     """
     report = DiffReport(program_name=program.name, config_name=cfg.name,
@@ -316,7 +322,12 @@ def differential_check(program: Program, cfg: MachineConfig,
     bus = EventBus()
     collector = _CommitCollector()
     bus.attach(collector)
-    result = _run_timing(cfg, tut, max_cycles, bus)
+    if engine == "event":
+        # keep the historic 4-arg call: tests monkeypatch _run_timing
+        # with 4-parameter fakes to inject timing bugs
+        result = _run_timing(cfg, tut, max_cycles, bus)
+    else:
+        result = _run_timing(cfg, tut, max_cycles, bus, engine=engine)
     report.cycles = result.cycles
     _diff_committed(tut, collector, cfg.lane_scalar_mode, report)
 

@@ -1,0 +1,95 @@
+"""The bench-regression gate (``benchmarks/compare_bench.py``).
+
+Regression tests for the zero-as-missing bug: a candidate row whose
+gated throughput is 0.0 (bench collapse, crashed run writing zeros)
+used to be skipped as "missing" and the gate passed vacuously.
+"""
+
+import importlib.util
+import math
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "compare_bench", _ROOT / "benchmarks" / "compare_bench.py")
+cb = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(cb)
+
+
+def _payload(**overrides):
+    """A minimal well-formed bench payload covering every gated metric."""
+    results = {
+        "end_to_end": {"cycles_per_s": 1_000_000.0},
+        "timing_replay": {"cycles_per_s": 2_000_000.0},
+        "timing_replay_columnar": {"cycles_per_s": 40_000_000.0},
+        "functional": {"ops_per_s": 500_000.0},
+    }
+    for key, row in overrides.items():
+        results[key] = row
+    return {"benchmark": "simulator_speed", "results": results}
+
+
+class TestMetric:
+    def test_zero_is_a_value_not_missing(self):
+        p = _payload(end_to_end={"cycles_per_s": 0.0})
+        assert cb._metric(p, "end_to_end", "cycles_per_s") == 0.0
+
+    def test_absent_row_and_absent_metric_are_missing(self):
+        p = _payload()
+        del p["results"]["functional"]
+        assert cb._metric(p, "functional", "ops_per_s") is None
+        assert cb._metric(p, "end_to_end", "nope") is None
+        assert cb._metric(p, "end_to_end",
+                          "cycles_per_s") == 1_000_000.0
+
+
+class TestGate:
+    def test_identical_payloads_pass(self):
+        lines, failures = cb.compare(_payload(), _payload(), 0.30)
+        assert not failures
+        assert all("OK" in ln for ln in lines)
+
+    def test_zero_candidate_fails_the_gate(self):
+        cand = _payload(timing_replay_columnar={"cycles_per_s": 0.0})
+        _, failures = cb.compare(_payload(), cand, 0.30)
+        assert len(failures) == 1
+        assert "not a positive finite throughput" in failures[0]
+        assert "timing_replay_columnar" in failures[0]
+
+    def test_nonfinite_candidate_fails_the_gate(self):
+        for bad in (math.nan, math.inf, -1.0):
+            cand = _payload(end_to_end={"cycles_per_s": bad})
+            _, failures = cb.compare(_payload(), cand, 0.30)
+            assert failures, bad
+
+    def test_unusable_baseline_is_skipped_not_failed(self):
+        # a zero in the *baseline* means the checked-in file is bad;
+        # that must not mask itself as a candidate failure
+        base = _payload(functional={"ops_per_s": 0.0})
+        lines, failures = cb.compare(base, _payload(), 0.30)
+        assert not failures
+        assert any("unusable" in ln for ln in lines)
+
+    def test_regression_beyond_threshold_fails(self):
+        cand = _payload(timing_replay={"cycles_per_s": 1_000_000.0})
+        _, failures = cb.compare(_payload(), cand, 0.30)
+        assert len(failures) == 1
+        assert "timing_replay" in failures[0]
+
+    def test_columnar_row_is_gated(self):
+        assert ("timing_replay_columnar", "cycles_per_s") in cb._GATED
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        import json
+        b = tmp_path / "base.json"
+        c = tmp_path / "cand.json"
+        b.write_text(json.dumps(_payload()))
+        c.write_text(json.dumps(_payload()))
+        assert cb.main([str(b), str(c)]) == 0
+        c.write_text(json.dumps(
+            _payload(end_to_end={"cycles_per_s": 0.0})))
+        assert cb.main([str(b), str(c)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out

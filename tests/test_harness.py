@@ -91,6 +91,14 @@ class TestCli:
         out = capsys.readouterr().out
         assert "trfd" in out and "mxm" not in out
 
+    def test_cli_zero_timeout_rejected(self, capsys):
+        # `--timeout 0` is falsy: it used to silently skip the runner
+        # path (and with it the limit), instead of erroring out
+        from repro.harness.cli import main
+        with pytest.raises(SystemExit):
+            main(["fig3", "--apps", "mxm", "--timeout", "0"])
+        assert "--timeout must be > 0" in capsys.readouterr().err
+
 
 class TestObservabilityCli:
     def test_trace_verb_writes_chrome_json(self, tmp_path, capsys):

@@ -69,6 +69,14 @@ class TestFailureCapture:
         assert out[_SPECS[0]].ok   # the healthy spec still ran
         assert "FAILED" in r.report()
 
+    def test_zero_timeout_rejected(self):
+        # `_alarm` treats 0 as "no alarm" (signal semantics), so a
+        # `timeout=0` typo used to silently run unbounded; now an error
+        for bad in (0, 0.0, -1):
+            with pytest.raises(ValueError, match="timeout must be > 0"):
+                ExperimentRunner(timeout=bad)
+        ExperimentRunner(timeout=None)   # explicit "no limit" still fine
+
     def test_timeout_is_captured(self):
         # 1ms: no run can build + simulate inside it, so the alarm
         # always fires (mxm end-to-end is ~30ms, close enough to 50ms

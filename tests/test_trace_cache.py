@@ -115,6 +115,33 @@ class TestDiskCache:
         assert cache.load_result("0" * 64) is None
         assert cache.result_misses == 1
 
+    def test_orphan_tmp_files_counted_and_swept(self, tmp_path):
+        # a writer killed mid-`_atomic_write` leaves `<name>.tmpXXXX`
+        # behind; the census must not count it as an entry, and the
+        # sweep must remove stale ones while sparing fresh ones
+        import os
+        import time
+        cache = TraceCache(tmp_path)
+        prog = assemble(_SRC_A)
+        cache.store_trace(prog.digest(), 1, trace_for(prog, 1))
+        tdir = tmp_path / "traces" / prog.digest()[:2]
+        stale = tdir / "deadbeef.trace.npz.tmpk3j2"
+        stale.write_bytes(b"partial")
+        os.utime(stale, (time.time() - 7200, time.time() - 7200))
+        fresh = tmp_path / "results" / "aa" / "bb.result.pkl.tmpq8x1"
+        fresh.parent.mkdir(parents=True)
+        fresh.write_bytes(b"in flight")
+
+        s = cache.stats()
+        assert s["traces"]["entries"] == 1          # tmp is not an entry
+        assert s["traces"]["orphan_tmp_files"] == 1
+        assert s["results"]["orphan_tmp_files"] == 1
+
+        assert cache.sweep_orphans(min_age_s=3600) == 1
+        assert not stale.exists()
+        assert fresh.exists()                       # may be a live writer
+        assert cache.stats()["traces"]["orphan_tmp_files"] == 0
+
     def test_stats_and_clear(self, tmp_path):
         cache = set_trace_cache_dir(tmp_path)
         trace_for(assemble(_SRC_A), 1)
