@@ -7,7 +7,10 @@ with ``VLT_BENCH_JSON`` pointing at a candidate file, then invokes::
         candidate.json --max-regression 0.30
 
 Exit status 1 if any compared throughput metric dropped by more than
-``--max-regression`` (default 30%) relative to the baseline.  The
+``--max-regression`` (default 30%) relative to the baseline.  With
+``--append-history DIR`` the candidate snapshot is also appended to the
+bench-trend history (``vlt-repro tele trend`` reads it back), pass or
+fail, so the trend records regressions too.  The
 headline gate is end-to-end cycles/s; functional ops/s and trace-replay
 cycles/s are compared with the same threshold.  Speedups and small
 regressions just print.  Absolute numbers differ across hosts, so this
@@ -94,12 +97,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="maximum tolerated fractional slowdown "
                              "(default 0.30 = 30%%)")
+    parser.add_argument("--append-history", metavar="DIR", default=None,
+                        help="also append the candidate snapshot to this "
+                             "bench-trend history directory "
+                             "(see repro.obs.telemetry)")
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
         baseline = json.load(fh)
     with open(args.candidate) as fh:
         candidate = json.load(fh)
+
+    if args.append_history:
+        from repro.obs.telemetry import append_bench_history
+        dest = append_bench_history(args.candidate, args.append_history)
+        print(f"appended candidate to bench history: {dest}")
 
     lines, failures = compare(baseline, candidate, args.max_regression)
     print(f"simulator-speed comparison "

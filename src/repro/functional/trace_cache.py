@@ -213,20 +213,30 @@ class TraceCache:
         return {"entries": entries, "bytes": nbytes,
                 "orphan_tmp_files": orphans}
 
+    def counters(self) -> Dict[str, int]:
+        """This process's hit/miss/store counters as one flat dict.
+
+        The parallel runner snapshots these around every run attempt and
+        ships the *delta* back to the parent, so a ``--jobs N`` sweep's
+        aggregate cache stats reflect what the workers actually did
+        (per-process counters alone silently reset in each worker).
+        """
+        return {
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "trace_stores": self.trace_stores,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "result_stores": self.result_stores,
+        }
+
     def stats(self) -> Dict[str, object]:
         """On-disk census plus this process's hit/miss/store counters."""
         return {
             "root": str(self.root),
             "traces": self._census("traces"),
             "results": self._census("results"),
-            "counters": {
-                "trace_hits": self.trace_hits,
-                "trace_misses": self.trace_misses,
-                "trace_stores": self.trace_stores,
-                "result_hits": self.result_hits,
-                "result_misses": self.result_misses,
-                "result_stores": self.result_stores,
-            },
+            "counters": self.counters(),
         }
 
     def clear(self) -> int:

@@ -25,9 +25,18 @@ Usage::
     vlt-repro diff mxm --config base --threads 2    # one differential run
     vlt-repro fig3 --verify --jobs 4                # differentially
                                                     # validated experiments
+    vlt-repro fig3 --jobs 4 --telemetry tele-out    # fleet telemetry:
+                                                    # run ledger + spans
+    vlt-repro tele report --telemetry tele-out      # fleet metrics from
+                                                    # the run ledger
+    vlt-repro tele timeline --telemetry tele-out    # per-worker Perfetto
+                                                    # timeline
+    vlt-repro tele trend                            # bench-history trend
+                                                    # report
 
-See docs/harness.md for the parallel runner and cache design, and
-docs/verification.md for the lint rules and the differential checker.
+See docs/harness.md for the parallel runner and cache design,
+docs/observability.md for fleet telemetry, and docs/verification.md for
+the lint rules and the differential checker.
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ EXPERIMENT_NAMES = ["table1", "table2", "table3", "table4",
 #: test asserts each one is documented somewhere under docs/ or README
 CLI_VERBS = tuple(EXPERIMENT_NAMES) + (
     "all", "verify", "mix", "run", "trace", "profile", "determinism",
-    "cache", "lint", "diff")
+    "cache", "lint", "diff", "tele")
 
 
 def verify_workloads(apps: Optional[List[str]] = None) -> str:
@@ -471,6 +480,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="differentially validate every experiment "
                              "run against the functional executor "
                              "(runner path; see docs/verification.md)")
+    parser.add_argument("--telemetry", type=str, default=None,
+                        help="fleet-telemetry directory: JSONL run ledger "
+                             "+ per-worker spans + Perfetto timeline "
+                             "(runner path; also the input of the 'tele' "
+                             "verb)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live completed/failed/cached/ETA line on "
+                             "stderr while the sweep runs (runner path)")
+    parser.add_argument("--history", type=str,
+                        default="benchmarks/history",
+                        help="bench-trend history directory "
+                             "('tele trend' verb)")
+    parser.add_argument("--last", type=int, default=5,
+                        help="history entries in the trend report "
+                             "('tele trend' verb)")
     parser.add_argument("--engine", type=str, default="event",
                         choices=("event", "columnar"),
                         help="timing replay engine: 'event' (per-event "
@@ -498,6 +522,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                                      apps=apps, engine=args.engine)
         print(text)
         return 1 if mismatches else 0
+
+    if args.experiments[0] == "tele":
+        if len(args.experiments) != 2 or \
+                args.experiments[1] not in ("report", "timeline", "trend"):
+            parser.error("usage: vlt-repro tele {report|timeline|trend} "
+                         "[--telemetry DIR] [--out path] "
+                         "[--history DIR --last K]")
+        sub = args.experiments[1]
+        if sub == "trend":
+            from ..obs.telemetry import bench_trend_report
+            print(bench_trend_report(args.history, last=args.last))
+            return 0
+        if not args.telemetry:
+            parser.error(f"'tele {sub}' requires --telemetry DIR "
+                         "(a directory a telemetry sweep wrote)")
+        from pathlib import Path
+        from ..obs.telemetry import TelemetryReader, write_timeline
+        if sub == "report":
+            reader = TelemetryReader.from_path(
+                Path(args.telemetry) / "ledger.jsonl")
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json.dump(reader.fleet_metrics(), fh, indent=2)
+                print(f"wrote {args.json}")
+            print(reader.report())
+            return 0
+        n = write_timeline(args.telemetry, args.out)
+        out = args.out or str(Path(args.telemetry) / "timeline.json")
+        print(f"wrote {n} span records to {out}")
+        return 0
 
     if args.experiments[0] == "cache":
         if len(args.experiments) != 2 or \
@@ -572,7 +626,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (and with it the limit the user asked for)
         parser.error("--timeout must be > 0 seconds")
     if (args.jobs > 1 or args.cache_dir or args.timeout is not None
-            or args.verify):
+            or args.verify or args.telemetry or args.progress):
         from ..timing.run import set_default_profiler, set_trace_cache_dir
         from .runner import ExperimentRunner
         specs = E.matrix_for(names, apps=apps, lanes=lanes)
@@ -589,7 +643,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   timeout=args.timeout,
                                   retries=args.retries,
                                   verify=args.verify,
-                                  engine=args.engine)
+                                  engine=args.engine,
+                                  telemetry=args.telemetry,
+                                  progress=args.progress)
         if args.cache_dir:
             set_trace_cache_dir(args.cache_dir)
         # parent-side runs (table4, doc extensions) count in one profile
@@ -602,6 +658,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(runner.report())
             print(f"[runner: {len(specs)} specs, "
                   f"{time.time() - t0:.1f}s]\n")
+            if runner.telemetry is not None:
+                print(runner.telemetry.reader().report())
+                print(f"[telemetry: ledger + timeline under "
+                      f"{runner.telemetry.dir}]\n")
 
     sections: List[str] = []
     json_data: Dict[str, Any] = {}
@@ -645,10 +705,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache = get_trace_cache()
         if cache is not None:
             s = cache.stats()
-            c = s["counters"]
+            # sweep-wide counters (workers included) when the runner
+            # accumulated them; this process's own otherwise
+            if runner.cache_counters:
+                c = runner.cache_counters
+                scope = "sweep"
+            else:
+                c = s["counters"]
+                scope = "this process"
             print(f"cache {s['root']}: {s['traces']['entries']} traces / "
-                  f"{s['results']['entries']} results on disk; this "
-                  f"process: trace hits {c['trace_hits']}, misses "
+                  f"{s['results']['entries']} results on disk; "
+                  f"{scope}: trace hits {c['trace_hits']}, misses "
                   f"{c['trace_misses']}; result hits {c['result_hits']}, "
                   f"misses {c['result_misses']}")
     return 0

@@ -20,6 +20,18 @@ A worker process dying outright (the pool breaks) triggers a fallback
 pass that re-runs each remaining spec in its own single-worker pool, so
 one poisoned spec cannot take healthy ones down with it.
 
+Fleet telemetry (:mod:`repro.obs.telemetry`): with a
+:class:`~repro.obs.telemetry.Telemetry` sink attached, every run
+*attempt* -- including retries and worker crashes -- lands as one JSONL
+ledger record, every worker's host-side spans merge into a per-worker
+Perfetto timeline, and worker cache hit/miss counters accumulate into
+:attr:`ExperimentRunner.cache_counters` (per-process counters silently
+reset in pool workers; the payload deltas do not).  ``progress=True``
+additionally draws a live completed/failed/cached/ETA line on stderr.
+None of this can perturb results: telemetry only observes the payloads
+that already travel parent-ward, and cycle counts are asserted
+bit-identical with telemetry on and off.
+
 Set ``VLT_RUNNER_TEST_CRASH=<app>:<config>`` to make the worker for that
 spec die with ``os._exit`` -- test hook for the crash-recovery path.
 """
@@ -28,6 +40,7 @@ from __future__ import annotations
 
 import os
 import signal
+import sys
 import tempfile
 import time
 import traceback
@@ -35,10 +48,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
 
 from ..functional.trace_cache import result_key
 from ..obs.hostprof import PhaseProfiler
+from ..obs.telemetry import (LEDGER_SCHEMA, SpanCollector, Telemetry,
+                             set_span_collector, span)
 from ..timing import run as timing_run
 from ..timing.config import get_config
 from ..timing.stats import RunResult
@@ -92,10 +107,23 @@ class RunOutcome:
     wall_s: float = 0.0
     #: served from the on-disk result cache (no timing replay happened)
     result_cached: bool = False
+    #: functional trace served from cache/memo (no regeneration);
+    #: ``None`` when the trace was never consulted (result-cache hit)
+    #: or the run failed before it was known
+    trace_cached: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
         return self.result is not None
+
+    def provenance(self) -> str:
+        """Where the numbers came from: ``result cache`` / ``trace
+        cache`` / ``simulated``."""
+        if self.result_cached:
+            return "result cache"
+        if self.trace_cached:
+            return "trace cache"
+        return "simulated"
 
 
 class MissingRunError(KeyError):
@@ -151,16 +179,78 @@ def _worker_init(cache_dir: Optional[str]) -> None:
     timing_run.set_trace_cache_dir(cache_dir)
 
 
+def _spec_payload(spec: RunSpec, timeout_s: Optional[float],
+                  max_cycles: int, verify: bool, engine: str,
+                  prof: PhaseProfiler,
+                  ctx: Dict[str, object]) -> Dict[str, object]:
+    """The run body: returns a success payload or raises.
+
+    ``ctx`` collects facts known before a potential failure (the cache
+    handle and its counter snapshot, the content digests) so
+    :func:`_execute_spec` can attach them to error payloads too.
+    """
+    from ..timing.run import simulate
+    from ..workloads import get_workload
+
+    with _alarm(timeout_s):
+        cache = timing_run.get_trace_cache()
+        if cache is not None:
+            ctx["cache"] = cache
+            ctx["cache0"] = dict(cache.counters())
+        with prof.phase("program_build"):
+            prog = get_workload(spec.app).program(
+                scalar_only=spec.scalar_only)
+        cfg = get_config(spec.config)
+        ctx["program_digest"] = prog.digest()
+        ctx["config_digest"] = cfg.digest()
+        key = None
+        if cache is not None:
+            key = result_key(ctx["program_digest"], ctx["config_digest"],
+                             spec.threads, max_cycles, engine=engine)
+            with prof.phase("result_cache_load"):
+                hit = cache.load_result(key)
+            if hit is not None and not verify:
+                return {"result": hit, "result_cached": True,
+                        "trace_cached": None}
+        with span("simulate", engine=engine):
+            result = simulate(prog, cfg, num_threads=spec.threads,
+                              max_cycles=max_cycles, profiler=prof,
+                              engine=engine)
+        # the profiler only records trace_generation when the functional
+        # executor actually ran; absence means cache/memo served it
+        trace_cached = "trace_generation" not in prof.phases
+        if verify:
+            from ..verify.diff import (DifferentialMismatch,
+                                       differential_check)
+            with prof.phase("differential_check"):
+                report = differential_check(
+                    prog, cfg, num_threads=spec.threads,
+                    max_cycles=max_cycles, engine=engine)
+            if not report.ok:
+                raise DifferentialMismatch(report)
+        if cache is not None:
+            with prof.phase("result_cache_store"):
+                cache.store_result(key, result)
+        return {"result": result, "result_cached": False,
+                "trace_cached": trace_cached}
+
+
 def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
                   max_cycles: int,
                   verify: bool = False,
-                  engine: str = "event") -> Dict[str, object]:
+                  engine: str = "event",
+                  telemetry: bool = False) -> Dict[str, object]:
     """Execute one spec; never raises (failures come back as data).
 
     Runs in a worker process (or inline for ``jobs=1``).  The payload is
     either ``{"result": RunResult, ...}`` or ``{"error": {...}, ...}``;
-    both carry the phase profile and wall time so the parent can merge
-    host-side accounting even for failed runs.
+    both carry the phase profile, wall time, epoch start/end stamps,
+    content digests and (cache enabled) this attempt's cache-counter
+    deltas, so the parent can merge host-side accounting even for
+    failed runs.  With ``telemetry=True`` the attempt also records
+    nested host-side spans into a fresh
+    :class:`~repro.obs.telemetry.SpanCollector` and ships them back
+    under ``payload["spans"]`` with the worker's track label.
 
     ``verify=True`` additionally replays the run through the
     functional/timing differential checker
@@ -169,55 +259,47 @@ def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
     the result-cache fast path -- a cached number is exactly what an
     unvalidated bug would hide behind.
     """
-    from ..timing.run import simulate
-    from ..workloads import get_workload
-
     crash = os.environ.get(_CRASH_ENV)
     if crash and crash == f"{spec.app}:{spec.config}":
         os._exit(42)   # simulate a hard worker death (segfault/OOM-kill)
 
+    col = prev_col = None
+    if telemetry:
+        col = SpanCollector()
+        prev_col = set_span_collector(col)
     prof = PhaseProfiler()
+    ctx: Dict[str, object] = {}
+    t_start = time.time()
     t0 = time.perf_counter()
     try:
-        with _alarm(timeout_s):
-            with prof.phase("program_build"):
-                prog = get_workload(spec.app).program(
-                    scalar_only=spec.scalar_only)
-            cfg = get_config(spec.config)
-            cache = timing_run.get_trace_cache()
-            key = None
-            if cache is not None:
-                key = result_key(prog.digest(), cfg.digest(),
-                                 spec.threads, max_cycles, engine=engine)
-                with prof.phase("result_cache_load"):
-                    hit = cache.load_result(key)
-                if hit is not None and not verify:
-                    return {"result": hit, "result_cached": True,
-                            "phases": prof.as_dict(),
-                            "wall_s": time.perf_counter() - t0}
-            result = simulate(prog, cfg, num_threads=spec.threads,
-                              max_cycles=max_cycles, profiler=prof,
-                              engine=engine)
-            if verify:
-                from ..verify.diff import (DifferentialMismatch,
-                                           differential_check)
-                with prof.phase("differential_check"):
-                    report = differential_check(
-                        prog, cfg, num_threads=spec.threads,
-                        max_cycles=max_cycles, engine=engine)
-                if not report.ok:
-                    raise DifferentialMismatch(report)
-            if cache is not None:
-                with prof.phase("result_cache_store"):
-                    cache.store_result(key, result)
-        return {"result": result, "result_cached": False,
-                "phases": prof.as_dict(),
-                "wall_s": time.perf_counter() - t0}
-    except Exception as exc:
-        return {"error": {"type": type(exc).__name__, "message": str(exc),
-                          "traceback": traceback.format_exc()},
-                "phases": prof.as_dict(),
-                "wall_s": time.perf_counter() - t0}
+        try:
+            with span("run_attempt", app=spec.app, config=spec.config,
+                      threads=spec.threads, engine=engine):
+                payload = _spec_payload(spec, timeout_s, max_cycles,
+                                        verify, engine, prof, ctx)
+        except Exception as exc:
+            payload = {"error": {"type": type(exc).__name__,
+                                 "message": str(exc),
+                                 "traceback": traceback.format_exc()}}
+    finally:
+        if col is not None:
+            set_span_collector(prev_col)
+    payload["phases"] = prof.as_dict()
+    payload["wall_s"] = time.perf_counter() - t0
+    payload["t_start"] = t_start
+    payload["t_end"] = time.time()
+    payload["program_digest"] = ctx.get("program_digest")
+    payload["config_digest"] = ctx.get("config_digest")
+    cache = ctx.get("cache")
+    if cache is not None:
+        now = cache.counters()
+        before = ctx.get("cache0", {})
+        payload["cache"] = {k: v - before.get(k, 0)
+                            for k, v in now.items()}
+    if col is not None:
+        payload["spans"] = col.spans
+        payload["worker"] = col.worker
+    return payload
 
 
 # --------------------------------------------------------------------------
@@ -240,12 +322,21 @@ class ExperimentRunner:
         Per-run wall-clock limit in seconds (None = unlimited).
     retries:
         Extra attempts after the first failure of a spec.
+    telemetry:
+        A :class:`~repro.obs.telemetry.Telemetry` sink (or a directory
+        path one is created at).  Enables the per-attempt run ledger,
+        worker span collection and the fleet timeline export.
+    progress:
+        Draw a live ``completed/failed/cached/in-flight/ETA`` line on
+        stderr as outcomes arrive.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  timeout: Optional[float] = None, retries: int = 2,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
-                 verify: bool = False, engine: str = "event") -> None:
+                 verify: bool = False, engine: str = "event",
+                 telemetry: Union[Telemetry, str, None] = None,
+                 progress: bool = False) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
@@ -267,9 +358,22 @@ class ExperimentRunner:
         #: differentially validate every run (functional vs timing); a
         #: mismatch is a structured, non-retryable failure
         self.verify = verify
+        if telemetry is not None and not isinstance(telemetry, Telemetry):
+            telemetry = Telemetry(telemetry)
+        #: fleet-telemetry sink: run ledger + spans + timeline
+        self.telemetry: Optional[Telemetry] = telemetry
+        self.progress = bool(progress)
         #: merged host-side phase profile across all workers + parent
         self.profiler = PhaseProfiler()
         self.outcomes: Dict[RunSpec, RunOutcome] = {}
+        #: sweep-wide TraceCache hit/miss/store counters, accumulated
+        #: from every attempt's worker-side delta (workers' own counters
+        #: die with the worker; these do not)
+        self.cache_counters: Dict[str, int] = {}
+        self._submit_t: Dict[RunSpec, float] = {}
+        self._total = 0
+        self._resolved = 0
+        self._run_t0 = 0.0
 
     # -- public API ----------------------------------------------------------
 
@@ -282,6 +386,10 @@ class ExperimentRunner:
                 seen.add(s)
                 ordered.append(s)
 
+        self._total = len(ordered)
+        self._resolved = 0
+        self._run_t0 = time.time()
+
         ephemeral = None
         cache_dir = self.cache_dir
         if cache_dir is None and self.jobs > 1:
@@ -289,12 +397,25 @@ class ExperimentRunner:
             cache_dir = ephemeral
         prev_cache = timing_run.get_trace_cache()
         timing_run.set_trace_cache_dir(cache_dir)
+        prev_col = None
+        if self.telemetry is not None:
+            prev_col = set_span_collector(SpanCollector(worker="parent"))
         try:
-            if self.jobs == 1:
-                self._run_serial(ordered)
-            else:
-                self._run_parallel(ordered, cache_dir)
+            with span("sweep", jobs=self.jobs, specs=len(ordered),
+                      engine=self.engine):
+                if self.jobs == 1:
+                    self._run_serial(ordered)
+                else:
+                    self._run_parallel(ordered, cache_dir)
         finally:
+            if self.telemetry is not None:
+                col = set_span_collector(prev_col)
+                if col is not None:
+                    self.telemetry.add_spans("parent", col.spans)
+                self.telemetry.write_timeline()
+            if self.progress and ordered:
+                sys.stderr.write("\n")
+                sys.stderr.flush()
             if ephemeral is not None:
                 # drop the throwaway cache and restore the previous one
                 import shutil
@@ -325,7 +446,8 @@ class ExperimentRunner:
             self.outcomes[spec] = RunOutcome(
                 spec=spec, result=payload["result"], attempts=attempts,
                 wall_s=wall,
-                result_cached=bool(payload.get("result_cached")))
+                result_cached=bool(payload.get("result_cached")),
+                trace_cached=payload.get("trace_cached"))
             return True
         self.outcomes[spec] = RunOutcome(
             spec=spec, attempts=attempts, wall_s=wall,
@@ -344,6 +466,104 @@ class ExperimentRunner:
                 spec=spec, error_type="WorkerCrash",
                 message="worker process died (killed or crashed) while "
                         "executing this run", attempts=attempts))
+        if self.telemetry is not None:
+            self.telemetry.record(self._crash_record(spec, attempts))
+
+    # -- telemetry plumbing --------------------------------------------------
+
+    def _note_attempt(self, spec: RunSpec, payload: Dict[str, object],
+                      attempts: int) -> None:
+        """Fold one attempt's telemetry: cache deltas, ledger, spans.
+
+        Called once per observed payload -- every attempt, not just the
+        final one -- so retries are first-class ledger records.
+        """
+        for k, v in (payload.get("cache") or {}).items():
+            self.cache_counters[k] = self.cache_counters.get(k, 0) + int(v)
+        if self.telemetry is None:
+            return
+        self.telemetry.record(self._run_record(spec, payload, attempts))
+        spans = payload.get("spans")
+        if spans:
+            self.telemetry.add_spans(
+                str(payload.get("worker", "?")), spans)
+
+    def _run_record(self, spec: RunSpec, payload: Dict[str, object],
+                    attempts: int) -> Dict[str, object]:
+        err = payload.get("error")
+        result = payload.get("result")
+        t_submit = self._submit_t.get(spec)
+        t_start = payload.get("t_start")
+        queue_wait = None
+        if t_submit is not None and t_start is not None:
+            queue_wait = max(0.0, float(t_start) - t_submit)
+        return {
+            "schema": LEDGER_SCHEMA,
+            "app": spec.app, "config": spec.config,
+            "threads": spec.threads, "scalar_only": spec.scalar_only,
+            "engine": self.engine,
+            "attempt": attempts,
+            "worker": payload.get("worker"),
+            "outcome": "ok" if err is None else "error",
+            "error_type": str(err["type"]) if err else None,
+            "cycles": int(result.cycles) if result is not None else None,
+            "wall_s": payload.get("wall_s"),
+            "queue_wait_s": queue_wait,
+            "t_start": t_start,
+            "t_end": payload.get("t_end"),
+            "result_cached": bool(payload.get("result_cached")),
+            "trace_cached": payload.get("trace_cached"),
+            "program_digest": payload.get("program_digest"),
+            "config_digest": payload.get("config_digest"),
+            "phases": payload.get("phases") or {},
+            "cache": payload.get("cache"),
+        }
+
+    def _crash_record(self, spec: RunSpec,
+                      attempts: int) -> Dict[str, object]:
+        return {
+            "schema": LEDGER_SCHEMA,
+            "app": spec.app, "config": spec.config,
+            "threads": spec.threads, "scalar_only": spec.scalar_only,
+            "engine": self.engine,
+            "attempt": attempts,
+            "worker": None,
+            "outcome": "crash",
+            "error_type": "WorkerCrash",
+            "cycles": None,
+            "wall_s": None,
+            "queue_wait_s": None,
+            "t_start": self._submit_t.get(spec),
+            "t_end": time.time(),
+            "result_cached": False,
+            "trace_cached": None,
+            "program_digest": None,
+            "config_digest": None,
+            "phases": {},
+            "cache": None,
+        }
+
+    def _progress_tick(self, final: bool) -> None:
+        if final:
+            self._resolved += 1
+        if not self.progress:
+            return
+        failed = sum(1 for o in self.outcomes.values()
+                     if o.failure is not None)
+        cached = sum(1 for o in self.outcomes.values() if o.result_cached)
+        in_flight = self._total - self._resolved
+        msg = (f"[runner] {self._resolved}/{self._total} done "
+               f"({failed} failed, {cached} cached, "
+               f"{in_flight} in flight")
+        if 0 < self._resolved < self._total:
+            elapsed = time.time() - self._run_t0
+            eta = elapsed / self._resolved * in_flight
+            msg += f", ETA {eta:.0f}s"
+        msg += ")"
+        sys.stderr.write("\r" + msg.ljust(72))
+        sys.stderr.flush()
+
+    # -- execution strategies ------------------------------------------------
 
     @staticmethod
     def _retryable(payload: Dict[str, object]) -> bool:
@@ -356,10 +576,15 @@ class ExperimentRunner:
     def _run_serial(self, specs: Sequence[RunSpec]) -> None:
         for spec in specs:
             for attempt in range(1, self.retries + 2):
+                self._submit_t[spec] = time.time()
                 payload = _execute_spec(spec, self.timeout, self.max_cycles,
-                                        self.verify, self.engine)
-                if self._record(spec, payload, attempt) \
-                        or not self._retryable(payload):
+                                        self.verify, self.engine,
+                                        self.telemetry is not None)
+                self._note_attempt(spec, payload, attempt)
+                done = self._record(spec, payload, attempt) \
+                    or not self._retryable(payload)
+                self._progress_tick(done or attempt == self.retries + 1)
+                if done:
                     break
 
     def _run_parallel(self, specs: Sequence[RunSpec],
@@ -387,15 +612,18 @@ class ExperimentRunner:
         retryable failures stay with their attempt count bumped.
         """
         futs: Dict[object, RunSpec] = {}
+        observed: Set[object] = set()   # futures already folded in
+        telemetry = self.telemetry is not None
         try:
             with ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(specs)),
                     initializer=_worker_init,
                     initargs=(cache_dir,)) as pool:
-                futs = {pool.submit(_execute_spec, s, self.timeout,
-                                    self.max_cycles, self.verify,
-                                    self.engine): s
-                        for s in specs}
+                for s in specs:
+                    self._submit_t[s] = time.time()
+                    futs[pool.submit(_execute_spec, s, self.timeout,
+                                     self.max_cycles, self.verify,
+                                     self.engine, telemetry)] = s
                 not_done = set(futs)
                 while not_done:
                     done, not_done = wait(not_done,
@@ -412,21 +640,31 @@ class ExperimentRunner:
                                 "message": str(exc), "traceback": ""}}
                         else:
                             payload = fut.result()
+                        observed.add(fut)
+                        self._note_attempt(spec, payload, attempts)
                         ok = (payload.get("error") is None)
                         if ok or attempts > self.retries \
                                 or not self._retryable(payload):
                             self._record(spec, payload, attempts)
                             del pending[spec]
+                            self._progress_tick(True)
                         else:
                             pending[spec] = attempts
+                            self._progress_tick(False)
             return False
         except BrokenProcessPool:
             # Sweep up futures that genuinely completed before the break
             # so their results are not lost to the quarantine pass.
             for fut, spec in futs.items():
-                if spec in pending and fut.done() and fut.exception() is None:
-                    if self._record(spec, fut.result(), pending[spec] + 1):
+                if spec in pending and fut.done() \
+                        and fut.exception() is None:
+                    payload = fut.result()
+                    if fut not in observed:
+                        self._note_attempt(spec, payload,
+                                           pending[spec] + 1)
+                    if self._record(spec, payload, pending[spec] + 1):
                         del pending[spec]
+                        self._progress_tick(True)
             return True
 
     def _run_isolated(self, spec: RunSpec, attempts_used: int,
@@ -436,29 +674,43 @@ class ExperimentRunner:
         attempts = attempts_used
         while attempts <= self.retries:
             attempts += 1
+            self._submit_t[spec] = time.time()
             try:
                 with ProcessPoolExecutor(
                         max_workers=1, initializer=_worker_init,
                         initargs=(cache_dir,)) as pool:
-                    payload = pool.submit(_execute_spec, spec, self.timeout,
-                                          self.max_cycles, self.verify,
-                                          self.engine).result()
+                    payload = pool.submit(
+                        _execute_spec, spec, self.timeout,
+                        self.max_cycles, self.verify, self.engine,
+                        self.telemetry is not None).result()
             except BrokenProcessPool:
                 self._record_crash(spec, attempts)
+                self._progress_tick(attempts > self.retries)
                 continue
-            if self._record(spec, payload, attempts) \
-                    or not self._retryable(payload):
+            self._note_attempt(spec, payload, attempts)
+            done = self._record(spec, payload, attempts) \
+                or not self._retryable(payload)
+            self._progress_tick(done or attempts > self.retries)
+            if done:
                 return
         # the last _record/_record_crash above left the final failure
 
     # -- reporting -----------------------------------------------------------
 
     def report(self) -> str:
-        """One-paragraph summary of the sweep."""
+        """Per-run summary of the sweep: cycles, wall time, attempts and
+        cache provenance per spec, failures last."""
         ok = sum(1 for o in self.outcomes.values() if o.ok)
         cached = sum(1 for o in self.outcomes.values() if o.result_cached)
         lines = [f"runner: {ok}/{len(self.outcomes)} runs succeeded "
                  f"({cached} served from result cache, jobs={self.jobs})"]
+        for spec, o in self.outcomes.items():
+            if o.ok:
+                attempts = (f"{o.attempts} attempt"
+                            f"{'s' if o.attempts != 1 else ''}")
+                lines.append(
+                    f"  {spec}: {o.result.cycles} cycles in "
+                    f"{o.wall_s:.2f}s ({attempts}, {o.provenance()})")
         for f in self.failures:
             lines.append(f"  FAILED {f.summary()}")
         return "\n".join(lines)

@@ -19,14 +19,19 @@ Building blocks:
 * :mod:`repro.obs.stall_report` -- the top-down Figure-4-style
   stall-attribution report;
 * :mod:`repro.obs.hostprof` -- host-side wall-time profiling of the
-  simulation phases themselves.
+  simulation phases themselves;
+* :mod:`repro.obs.telemetry` -- fleet telemetry for the experiment
+  harness: nested host-side spans, the JSONL run ledger, fleet-metric
+  aggregation, the per-worker Perfetto timeline and bench-trend
+  history (``vlt-repro tele report|timeline|trend``).
 
 The one-call entry point is
 :func:`repro.timing.run.simulate_traced`; the CLI surface is
 ``vlt-repro trace`` and ``vlt-repro profile``.
 """
 
-from .chrome_trace import to_chrome_trace, write_chrome_trace
+from .chrome_trace import to_chrome_trace, track_metadata, \
+    write_chrome_trace
 from .events import (BANK_CONFLICT, BARRIER_ARRIVE, BARRIER_RELEASE,
                      CACHE_MISS, COMMIT, EVENT_KINDS, Event, EventBus,
                      EventLog, ISSUE, LANE_ISSUE, NULL_BUS, STALL,
@@ -34,6 +39,12 @@ from .events import (BANK_CONFLICT, BARRIER_ARRIVE, BARRIER_RELEASE,
 from .hostprof import PhaseProfiler, PhaseTiming
 from .metrics import Counter, Histogram, MetricsRegistry, MetricsSink
 from .stall_report import render_stall_report, stall_attribution
+from .telemetry import (LEDGER_SCHEMA, RUN_RECORD_FIELDS, JsonlWriter,
+                        SpanCollector, Telemetry, TelemetryReader,
+                        append_bench_history, bench_trend_report,
+                        get_span_collector, read_jsonl,
+                        set_span_collector, span, spans_to_chrome_trace,
+                        validate_run_record, write_timeline)
 
 __all__ = [
     "BANK_CONFLICT", "BARRIER_ARRIVE", "BARRIER_RELEASE", "CACHE_MISS",
@@ -42,6 +53,11 @@ __all__ = [
     "VLCFG",
     "PhaseProfiler", "PhaseTiming",
     "Counter", "Histogram", "MetricsRegistry", "MetricsSink",
-    "to_chrome_trace", "write_chrome_trace",
+    "to_chrome_trace", "track_metadata", "write_chrome_trace",
     "render_stall_report", "stall_attribution",
+    "LEDGER_SCHEMA", "RUN_RECORD_FIELDS", "JsonlWriter", "SpanCollector",
+    "Telemetry", "TelemetryReader", "append_bench_history",
+    "bench_trend_report", "get_span_collector", "read_jsonl",
+    "set_span_collector", "span", "spans_to_chrome_trace",
+    "validate_run_record", "write_timeline",
 ]

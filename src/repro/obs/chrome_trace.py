@@ -31,6 +31,30 @@ from .events import (BANK_CONFLICT, BARRIER_ARRIVE, BARRIER_RELEASE,
 _PID = 1
 
 
+def track_metadata(tids: Dict[str, int], process_name: str = "vlt-sim",
+                   pid: int = _PID, sort_tracks: bool = True) -> List[dict]:
+    """Process/thread metadata records naming one row per track.
+
+    Shared by the simulated-machine exporter below and the host-side
+    fleet-span exporter (:mod:`repro.obs.telemetry`): both want named
+    rows in a stable order.  ``sort_tracks=True`` orders rows by track
+    name (the simulator's unit labels); ``False`` keeps the caller's tid
+    assignment order (the fleet timeline puts the parent track first).
+    """
+    meta: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": process_name}}]
+    order = sorted(tids) if sort_tracks else \
+        sorted(tids, key=lambda track: tids[track])
+    for sort_index, track in enumerate(order):
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": tids[track], "args": {"name": track}})
+        meta.append({"name": "thread_sort_index", "ph": "M", "pid": pid,
+                     "tid": tids[track],
+                     "args": {"sort_index": sort_index}})
+    return meta
+
+
 def _track_of(ev: Event) -> str:
     """The display row an event belongs to."""
     if ev.kind == VISSUE and ev.arg is not None:
@@ -95,15 +119,7 @@ def to_chrome_trace(events: Iterable[Event],
                 "ts": ev.cycle, "s": "t", "pid": _PID, "tid": tid,
                 "args": {"arg": ev.arg}})
 
-    meta: List[dict] = [{
-        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
-        "args": {"name": process_name}}]
-    for sort_index, track in enumerate(sorted(tids)):
-        meta.append({"name": "thread_name", "ph": "M", "pid": _PID,
-                     "tid": tids[track], "args": {"name": track}})
-        meta.append({"name": "thread_sort_index", "ph": "M", "pid": _PID,
-                     "tid": tids[track],
-                     "args": {"sort_index": sort_index}})
+    meta = track_metadata(tids, process_name=process_name)
 
     out = {
         "traceEvents": meta + records,

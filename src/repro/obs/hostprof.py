@@ -15,14 +15,23 @@ threads one through the canonical phases:
 
 ``benchmarks/bench_simulator_speed.py`` writes these numbers into
 ``BENCH_simulator_speed.json`` so future PRs can diff them.
+
+Phases are timed *through* the fleet-telemetry span primitive
+(:func:`repro.obs.telemetry.span`): when an ambient
+:class:`~repro.obs.telemetry.SpanCollector` is installed (a telemetry
+sweep), every phase also lands on the host-side timeline as a nested
+span -- one measurement, two consumers.  Without a collector the span
+is a bare ``perf_counter`` pair, so this file's numbers (and the
+``BENCH_simulator_speed.json`` they feed) are unchanged.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
+
+from .telemetry import span
 
 
 @dataclass
@@ -47,16 +56,15 @@ class PhaseProfiler:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        t0 = time.perf_counter()
         try:
-            yield
+            with span(name) as handle:
+                yield
         finally:
-            dt = time.perf_counter() - t0
             pt = self.phases.get(name)
             if pt is None:
                 pt = self.phases[name] = PhaseTiming(name)
                 self._order.append(name)
-            pt.wall_s += dt
+            pt.wall_s += handle.dur_s
             pt.calls += 1
 
     @property
