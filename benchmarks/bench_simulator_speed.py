@@ -170,6 +170,48 @@ def test_columnar_replay_speed(benchmark):
         f"columnar replay only {speedup:.1f}x faster than event engine"
 
 
+def test_fast_trace_generation_speed(benchmark):
+    """Fast vs reference trace-generation throughput on the steady-state
+    workload (the regime the harness sweeps live in: warm decode cache,
+    loop-dominated traces).
+
+    Both engines generate the same trace; the serialized bytes must be
+    identical and the fast block-compiled engine at least 10x faster in
+    ops/sec.
+    """
+    from repro.functional import trace_to_bytes
+    prog = assemble(_SRC_STEADY)
+
+    ref_walls: list = []
+    run_ref = _timed(lambda: trace_for(prog, 1), ref_walls)
+    for _ in range(3):
+        clear_trace_cache()
+        ref_trace = run_ref()
+    ref_wall = min(ref_walls)
+    ops = ref_trace.total_ops()
+
+    walls: list = []
+
+    def run():
+        clear_trace_cache()
+        return trace_for(prog, 1, func_engine="fast")
+
+    run_fast = _timed(run, walls)
+    for _ in range(3):   # warm runs (block compile + expansion cache)
+        run_fast()
+    trace = benchmark(run_fast)
+    assert trace_to_bytes(trace) == trace_to_bytes(ref_trace)
+    wall = _min_wall(benchmark, walls)
+    speedup = ref_wall / wall if wall else None
+    _record("trace_generation_fast", wall_s=wall, ops=ops,
+            ops_per_s=ops / wall if wall else None,
+            reference_wall_s=ref_wall,
+            reference_ops_per_s=ops / ref_wall if ref_wall else None,
+            speedup_vs_reference=speedup)
+    assert speedup and speedup >= 10.0, \
+        f"fast trace generation only {speedup:.1f}x faster than reference"
+
+
 def test_end_to_end_speed(benchmark):
     prog = assemble(_SRC)
     walls: list = []
@@ -201,6 +243,8 @@ def test_per_config_throughput(benchmark, capsys):
                               profiler=prof)
             wall = time.perf_counter() - t0
             ops = trace_for(prog, threads).total_ops()
+            phases = prof.as_dict()
+            tg_wall = phases.get("trace_generation", {}).get("wall_s")
             rows[name] = {
                 "threads": threads,
                 "cycles": result.cycles,
@@ -208,7 +252,10 @@ def test_per_config_throughput(benchmark, capsys):
                 "wall_s": wall,
                 "ops_per_s": ops / wall if wall else None,
                 "cycles_per_s": result.cycles / wall if wall else None,
-                "phases": prof.as_dict(),
+                "trace_generation_wall_s": tg_wall,
+                "trace_generation_ops_per_s": (ops / tg_wall
+                                               if tg_wall else None),
+                "phases": phases,
             }
         return rows
 
@@ -217,10 +264,14 @@ def test_per_config_throughput(benchmark, capsys):
     _record("per_config", **rows)
     with capsys.disabled():
         print()
-        print(f"{'config':<10}{'thr':>4}{'cycles':>10}{'ops/s':>14}")
+        print(f"{'config':<10}{'thr':>4}{'cycles':>10}{'ops/s':>14}"
+              f"{'trace-gen ops/s':>18}")
         for name, row in rows.items():
+            tg = row["trace_generation_ops_per_s"]
             print(f"{name:<10}{row['threads']:>4}{row['cycles']:>10}"
-                  f"{row['ops_per_s']:>14,.0f}")
+                  f"{row['ops_per_s']:>14,.0f}"
+                  + (f"{tg:>18,.0f}" if tg else f"{'n/a':>18}"))
     for name, row in rows.items():
         assert row["cycles"] > 1000, name
         assert row["ops_per_s"] and row["ops_per_s"] > 0, name
+        assert row["trace_generation_ops_per_s"], name

@@ -12,7 +12,11 @@ Exit status 1 if any compared throughput metric dropped by more than
 bench-trend history (``vlt-repro tele trend`` reads it back), pass or
 fail, so the trend records regressions too.  The
 headline gate is end-to-end cycles/s; functional ops/s and trace-replay
-cycles/s are compared with the same threshold.  Speedups and small
+cycles/s are compared with the same threshold.  ``--min-speedup
+KEY:FACTOR`` additionally requires the candidate's KEY row to record a
+``speedup_vs_*`` of at least FACTOR (e.g.
+``--min-speedup trace_generation_fast:5`` gates the fast functional
+engine against its reference).  Speedups and small
 regressions just print.  Absolute numbers differ across hosts, so this
 is only meaningful when both files come from the same machine (as in
 one CI job) -- it is a smoke gate against order-of-magnitude slowdowns,
@@ -33,6 +37,7 @@ _GATED: Tuple[Tuple[str, str], ...] = (
     ("timing_replay", "cycles_per_s"),
     ("timing_replay_columnar", "cycles_per_s"),
     ("functional", "ops_per_s"),
+    ("trace_generation_fast", "ops_per_s"),
 )
 
 
@@ -88,6 +93,59 @@ def compare(baseline: dict, candidate: dict,
     return lines, failures
 
 
+def check_min_speedups(candidate: dict,
+                       specs: List[Tuple[str, float]]
+                       ) -> Tuple[List[str], List[str]]:
+    """Gate candidate rows on their recorded engine speedup.
+
+    Each spec is ``(result key, factor)``; the row must carry a
+    ``speedup_vs_*`` field (e.g. ``speedup_vs_event`` for the columnar
+    replay row, ``speedup_vs_reference`` for the fast trace-generation
+    row) of at least ``factor``.  A missing row or field fails: a bench
+    that silently stopped measuring the speedup must not pass the gate.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    for key, factor in specs:
+        row = candidate.get("results", {}).get(key)
+        field = None
+        if isinstance(row, dict):
+            for name in sorted(row):
+                if name.startswith("speedup_vs_"):
+                    field = name
+        if field is None:
+            failures.append(f"{key}: no speedup_vs_* field in candidate "
+                            f"(min-speedup {factor:g}x requested)")
+            lines.append(f"  {key:<28} speedup missing  FAIL")
+            continue
+        try:
+            speedup = float(row[field])
+        except (TypeError, ValueError):
+            speedup = float("nan")
+        label = f"{key}.{field}"
+        if not math.isfinite(speedup) or speedup < factor:
+            failures.append(f"{label}: {speedup:.2f}x below required "
+                            f"{factor:g}x")
+            lines.append(f"  {label:<28} {speedup:.2f}x  "
+                         f"(need {factor:g}x)  FAIL")
+        else:
+            lines.append(f"  {label:<28} {speedup:.2f}x  "
+                         f"(need {factor:g}x)  OK")
+    return lines, failures
+
+
+def _parse_min_speedup(text: str) -> Tuple[str, float]:
+    key, sep, factor = text.partition(":")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY:FACTOR, got {text!r}")
+    try:
+        return key, float(factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"FACTOR in {text!r} is not a number")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate simulator-speed regressions between two "
@@ -97,6 +155,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="maximum tolerated fractional slowdown "
                              "(default 0.30 = 30%%)")
+    parser.add_argument("--min-speedup", metavar="KEY:FACTOR",
+                        type=_parse_min_speedup, action="append",
+                        default=[],
+                        help="require the candidate's KEY row to record a "
+                             "speedup_vs_* of at least FACTOR (repeatable; "
+                             "e.g. trace_generation_fast:5)")
     parser.add_argument("--append-history", metavar="DIR", default=None,
                         help="also append the candidate snapshot to this "
                              "bench-trend history directory "
@@ -118,6 +182,13 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"(max regression {args.max_regression:.0%}):")
     for line in lines:
         print(line)
+    if args.min_speedup:
+        sp_lines, sp_failures = check_min_speedups(candidate,
+                                                   args.min_speedup)
+        print("engine speedup gates:")
+        for line in sp_lines:
+            print(line)
+        failures.extend(sp_failures)
     if failures:
         print("FAILED:")
         for f in failures:

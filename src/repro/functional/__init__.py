@@ -1,6 +1,8 @@
 """Functional (architectural) simulation: memory, state, interpreter, traces."""
 
 from .executor import ExecutionError, Executor, run_program
+from .fast import (FUNC_ENGINES, FastExecutor, run_program_fast,
+                   validate_func_engine)
 from .memory import Memory, MemoryFault, MisalignedAccess
 from .state import ThreadState
 from .trace import (TRACE_FORMAT_VERSION, DynOp, ProgramTrace, ThreadTrace,
@@ -9,6 +11,8 @@ from .trace_cache import TraceCache
 
 __all__ = [
     "ExecutionError", "Executor", "run_program",
+    "FUNC_ENGINES", "FastExecutor", "run_program_fast",
+    "validate_func_engine",
     "Memory", "MemoryFault", "MisalignedAccess",
     "ThreadState", "DynOp", "ProgramTrace", "ThreadTrace",
     "TRACE_FORMAT_VERSION", "load_trace", "save_trace",

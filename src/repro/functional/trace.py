@@ -13,11 +13,16 @@ from __future__ import annotations
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..isa.opcodes import OpSpec, spec
+
+#: the per-thread parallel arrays of the columnar trace layout, in
+#: canonical (serialization) order
+COLUMN_NAMES = ("pcs", "ops", "vls", "takens", "tgts", "imms", "has_addrs",
+                "r_off", "w_off", "a_off", "r_flat", "w_flat", "a_flat")
 
 
 class DynOp:
@@ -47,23 +52,79 @@ class DynOp:
         return f"<DynOp pc={self.pc} {self.op}{extra}>"
 
 
-@dataclass
+class _LazyOpsView:
+    """Read-only sequence facade over a columnar :class:`ThreadTrace`.
+
+    Behaves like the ``List[DynOp]`` the per-event timing machine
+    expects, but defers the columnar -> DynOp decode until an element
+    is actually touched.  The columnar timing engine only touches ops
+    for event emission and error messages, so a plain replay through it
+    never pays the decode.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "ThreadTrace"):
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def __getitem__(self, i):
+        return self._trace.ops[i]
+
+    def __iter__(self):
+        return iter(self._trace.ops)
+
+
 class ThreadTrace:
     """The dynamic trace of one software thread.
 
     ``ops`` is segmented by barriers only implicitly -- barrier DynOps
     appear in-stream and the timing model synchronises on them.
+
+    A trace holds its ops in one (or both) of two equivalent forms: a
+    ``List[DynOp]`` and the columnar parallel arrays of the npz cache
+    format.  The reference executor appends DynOps; the fast executor
+    and the npz loader attach columns directly and the ``ops`` list is
+    materialised lazily on first access, so columnar consumers (the
+    columnar timing engine, serialization, bulk stats) never pay a
+    per-op decode.
     """
 
-    tid: int
-    ops: List[DynOp] = field(default_factory=list)
+    __slots__ = ("tid", "_ops", "_cols")
+
+    def __init__(self, tid: int, ops: Optional[List[DynOp]] = None):
+        self.tid = tid
+        self._ops: Optional[List[DynOp]] = [] if ops is None else ops
+        self._cols: Optional[Dict[str, object]] = None
+
+    @property
+    def ops(self) -> List[DynOp]:
+        if self._ops is None:
+            cols = self._cols
+            self._ops = _ops_from_columns(cols, cols["op_table"])
+        return self._ops
+
+    @ops.setter
+    def ops(self, value: List[DynOp]) -> None:
+        self._ops = value
+        self._cols = None
+
+    def ops_view(self) -> Sequence[DynOp]:
+        """The ops as a sequence, without forcing materialisation."""
+        if self._ops is not None:
+            return self._ops
+        return _LazyOpsView(self)
 
     def append(self, op: DynOp) -> None:
         self.ops.append(op)
         self._cols = None   # invalidate any cached columnar view
 
     def __len__(self) -> int:
-        return len(self.ops)
+        if self._ops is None:
+            return int(self._cols["pcs"].size)
+        return len(self._ops)
 
     # -- columnar view -------------------------------------------------------
 
@@ -74,11 +135,12 @@ class ThreadTrace:
         (see the serialization section below), with ``op_table`` as an
         ordered mnemonic list rather than a mnemonic->id dict.  The
         view is computed once and cached on the instance; traces
-        decoded from npz attach their arrays directly at load time, so
-        array consumers (the columnar timing engine, bulk analyses)
-        never pay a per-:class:`DynOp` encode/decode round-trip.
+        decoded from npz (and traces generated by the fast executor)
+        attach their arrays directly, so array consumers (the columnar
+        timing engine, bulk analyses) never pay a per-:class:`DynOp`
+        encode/decode round-trip.
         """
-        cols = getattr(self, "_cols", None)
+        cols = self._cols
         if cols is None:
             cols = _encode_thread(self)
             op_ids = cols.pop("op_table")
@@ -91,6 +153,15 @@ class ThreadTrace:
 
     def counts(self) -> Dict[str, int]:
         """Instruction-count summary: total, scalar, vector, element ops."""
+        if self._ops is None:
+            cols = self._cols
+            vec = self._vector_positions(cols)
+            return {
+                "total": int(cols["pcs"].size),
+                "scalar": int(cols["pcs"].size - vec.size),
+                "vector": int(vec.size),
+                "element_ops": int(cols["vls"][vec].sum()),
+            }
         total = len(self.ops)
         vector = sum(1 for o in self.ops if o.spec.is_vector)
         elem_ops = sum(o.vl for o in self.ops if o.spec.is_vector)
@@ -101,8 +172,18 @@ class ThreadTrace:
             "element_ops": elem_ops,
         }
 
+    @staticmethod
+    def _vector_positions(cols: Dict[str, object]) -> np.ndarray:
+        is_vec = np.array([spec(op).is_vector for op in cols["op_table"]],
+                          dtype=bool)
+        return np.nonzero(is_vec[cols["ops"]])[0]
+
     def vector_lengths(self) -> np.ndarray:
         """The dynamic VL of every vector instruction, in order."""
+        if self._ops is None:
+            cols = self._cols
+            return cols["vls"][self._vector_positions(cols)].astype(
+                np.int64, copy=True)
         return np.array([o.vl for o in self.ops if o.spec.is_vector],
                         dtype=np.int64)
 
@@ -210,8 +291,9 @@ def _encode_thread(t: ThreadTrace) -> Dict[str, np.ndarray]:
     }
 
 
-def _decode_thread(tid: int, arrays: Dict[str, np.ndarray],
-                   op_table: List[str]) -> ThreadTrace:
+def _ops_from_columns(arrays: Dict[str, np.ndarray],
+                      op_table: List[str]) -> List[DynOp]:
+    """Materialise the ``List[DynOp]`` form of one thread's columns."""
     pcs = arrays["pcs"]
     ops = arrays["ops"]
     vls = arrays["vls"]
@@ -223,8 +305,8 @@ def _decode_thread(tid: int, arrays: Dict[str, np.ndarray],
     r_flat, w_flat, a_flat = (arrays["r_flat"], arrays["w_flat"],
                               arrays["a_flat"])
     specs = [(op, spec(op)) for op in op_table]
-    thread = ThreadTrace(tid)
-    append = thread.ops.append
+    out: List[DynOp] = []
+    append = out.append
     for i in range(len(pcs)):
         op, sp = specs[ops[i]]
         taken = None if takens[i] < 0 else bool(takens[i])
@@ -237,12 +319,32 @@ def _decode_thread(tid: int, arrays: Dict[str, np.ndarray],
             tuple(int(u) for u in r_flat[r_off[i]:r_off[i + 1]]),
             tuple(int(u) for u in w_flat[w_off[i]:w_off[i + 1]]),
             vl=int(vls[i]), addrs=addrs, taken=taken, tgt=tgt, imm=imm))
-    # attach the columnar view directly: npz-decoded traces never pay
-    # the re-encode that columns() would otherwise do
+    return out
+
+
+def thread_trace_from_columns(tid: int, arrays: Dict[str, np.ndarray],
+                              op_table: List[str]) -> ThreadTrace:
+    """Build a :class:`ThreadTrace` directly from its columnar arrays.
+
+    The DynOp list is materialised lazily on first ``.ops`` access;
+    until then every consumer (columnar timing engine, serialization,
+    stats) works straight off the arrays.  ``op_table`` is validated
+    eagerly so a corrupt mnemonic table fails here, not at some later
+    access.
+    """
+    for op in op_table:
+        spec(op)
+    thread = ThreadTrace(tid)
     cols = dict(arrays)
     cols["op_table"] = list(op_table)
+    thread._ops = None
     thread._cols = cols
     return thread
+
+
+def _decode_thread(tid: int, arrays: Dict[str, np.ndarray],
+                   op_table: List[str]) -> ThreadTrace:
+    return thread_trace_from_columns(tid, arrays, op_table)
 
 
 def trace_to_bytes(trace: ProgramTrace) -> bytes:
@@ -250,12 +352,10 @@ def trace_to_bytes(trace: ProgramTrace) -> bytes:
     arrays: Dict[str, np.ndarray] = {}
     op_tables: List[List[str]] = []
     for t in trace.threads:
-        cols = _encode_thread(t)
-        op_ids = cols.pop("op_table")
-        op_tables.append([op for op, _ in
-                          sorted(op_ids.items(), key=lambda kv: kv[1])])
-        for name, arr in cols.items():
-            arrays[f"t{t.tid}.{name}"] = arr
+        cols = t.columns()   # cached/attached columns; encodes if needed
+        op_tables.append(list(cols["op_table"]))
+        for name in COLUMN_NAMES:
+            arrays[f"t{t.tid}.{name}"] = cols[name]
     manifest = {
         "version": TRACE_FORMAT_VERSION,
         "program_name": trace.program_name,
@@ -283,10 +383,7 @@ def trace_from_bytes(data: bytes) -> ProgramTrace:
                 f"(expected {TRACE_FORMAT_VERSION})")
         threads = []
         for tid, op_table in zip(manifest["tids"], manifest["op_tables"]):
-            arrays = {name: npz[f"t{tid}.{name}"]
-                      for name in ("pcs", "ops", "vls", "takens", "tgts",
-                                   "imms", "has_addrs", "r_off", "w_off",
-                                   "a_off", "r_flat", "w_flat", "a_flat")}
+            arrays = {name: npz[f"t{tid}.{name}"] for name in COLUMN_NAMES}
             threads.append(_decode_thread(tid, arrays, op_table))
     return ProgramTrace(program_name=manifest["program_name"],
                         num_threads=manifest["num_threads"],

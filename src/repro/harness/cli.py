@@ -23,6 +23,8 @@ Usage::
     vlt-repro diff                                  # functional-vs-timing
                                                     # check, fig3/5/6 matrix
     vlt-repro diff mxm --config base --threads 2    # one differential run
+    vlt-repro diff --func-engine fast               # fast-vs-reference
+                                                    # functional check
     vlt-repro fig3 --verify --jobs 4                # differentially
                                                     # validated experiments
     vlt-repro fig3 --jobs 4 --telemetry tele-out    # fleet telemetry:
@@ -102,7 +104,8 @@ def instruction_mix(apps: Optional[List[str]] = None,
 
 
 def run_single(app: str, config: str = "base", threads: int = 1,
-               scalar_only: bool = False, engine: str = "event") -> str:
+               scalar_only: bool = False, engine: str = "event",
+               func_engine: str = "reference") -> str:
     """Run one workload on one machine configuration; report the stats."""
     from ..timing import simulate
     from ..timing.config import get_config
@@ -110,7 +113,8 @@ def run_single(app: str, config: str = "base", threads: int = 1,
     w = get_workload(app)
     prog = w.program(scalar_only=scalar_only)
     cfg = get_config(config)
-    r = simulate(prog, cfg, num_threads=threads, engine=engine)
+    r = simulate(prog, cfg, num_threads=threads, engine=engine,
+                 func_engine=func_engine)
     lines = [r.summary()]   # includes L2 bank-conflict cycles
     if r.phase_release_cycles:
         lines.append(f"  phases: {r.phase_durations()}")
@@ -127,7 +131,8 @@ def run_single(app: str, config: str = "base", threads: int = 1,
 
 def run_trace(app: str, config: str = "base", threads: int = 1,
               scalar_only: bool = False, out: Optional[str] = None,
-              max_events: int = 1_000_000, engine: str = "event") -> str:
+              max_events: int = 1_000_000, engine: str = "event",
+              func_engine: str = "reference") -> str:
     """Run one workload fully instrumented; write a Chrome trace-event
     JSON (loads in Perfetto) and return the stall-attribution report."""
     from ..obs import render_stall_report, write_chrome_trace
@@ -138,7 +143,8 @@ def run_trace(app: str, config: str = "base", threads: int = 1,
     prog = w.program(scalar_only=scalar_only)
     cfg = get_config(config)
     tr = simulate_traced(prog, cfg, num_threads=threads,
-                         max_events=max_events, engine=engine)
+                         max_events=max_events, engine=engine,
+                         func_engine=func_engine)
     lines = []
     if out:
         n = write_chrome_trace(
@@ -174,7 +180,8 @@ def run_trace(app: str, config: str = "base", threads: int = 1,
 
 def run_profile(app: str, config: str = "base", threads: int = 1,
                 scalar_only: bool = False,
-                json_path: Optional[str] = None) -> str:
+                json_path: Optional[str] = None,
+                func_engine: str = "reference") -> str:
     """Host-side self-profiling: wall time per simulation phase."""
     from ..timing import clear_trace_cache
     from ..timing.run import simulate, trace_for
@@ -186,7 +193,8 @@ def run_profile(app: str, config: str = "base", threads: int = 1,
     cfg = get_config(config)
     clear_trace_cache()   # so trace_generation is actually measured
     prof = PhaseProfiler()
-    r = simulate(prog, cfg, num_threads=threads, profiler=prof)
+    r = simulate(prog, cfg, num_threads=threads, profiler=prof,
+                 func_engine=func_engine)
     ops = sum(len(t.ops) for t in
               trace_for(prog, threads).threads)
     total = prof.total_wall_s
@@ -333,14 +341,18 @@ def lint_programs(apps: Optional[List[str]] = None,
 def diff_runs(app: Optional[str] = None, config: str = "base",
               threads: int = 1, scalar_only: bool = False,
               apps: Optional[List[str]] = None,
-              engine: str = "event") -> Tuple[str, int]:
+              engine: str = "event",
+              func_engine: str = "reference") -> Tuple[str, int]:
     """Differentially validate runs; returns (report, mismatch count).
 
     With ``app``, checks that single (app, config, threads) run.
     Without, sweeps the full Figure-3/5/6 run matrix -- every
     (app x config x threads) point behind the paper's headline
     figures -- proving the timing machine replays exactly what the
-    functional executor computed.
+    functional executor computed.  ``--func-engine fast`` makes the
+    trace under test (and the state-comparison run) come from the
+    fast block-compiled engine, turning the sweep into a
+    fast-vs-reference functional equivalence check.
     """
     from ..harness.runner import RunSpec
     from ..timing.config import get_config
@@ -357,7 +369,9 @@ def diff_runs(app: Optional[str] = None, config: str = "base",
     bad = 0
     for spec in specs:
         prog = get_workload(spec.app).program(scalar_only=spec.scalar_only)
-        kw = {} if engine == "event" else {"engine": engine}
+        kw: Dict[str, Any] = {} if engine == "event" else {"engine": engine}
+        if func_engine != "reference":
+            kw["func_engine"] = func_engine
         report = differential_check(prog, get_config(spec.config),
                                     num_threads=spec.threads, **kw)
         if report.ok:
@@ -501,6 +515,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "oracle) or 'columnar' (NumPy array replay, "
                              "verified bit-identical; see "
                              "docs/architecture.md)")
+    parser.add_argument("--func-engine", type=str, default="reference",
+                        choices=("reference", "fast"),
+                        help="functional trace-generation engine: "
+                             "'reference' (the oracle interpreter) or "
+                             "'fast' (block-compiled NumPy engine, "
+                             "verified bit-identical; see "
+                             "docs/architecture.md)")
     args = parser.parse_args(argv)
 
     if args.experiments[0] == "lint":
@@ -519,7 +540,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         text, mismatches = diff_runs(app, config=args.config,
                                      threads=args.threads,
                                      scalar_only=args.scalar_only,
-                                     apps=apps, engine=args.engine)
+                                     apps=apps, engine=args.engine,
+                                     func_engine=args.func_engine)
         print(text)
         return 1 if mismatches else 0
 
@@ -576,7 +598,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_single(args.experiments[1], config=args.config,
                          threads=args.threads,
                          scalar_only=args.scalar_only,
-                         engine=args.engine))
+                         engine=args.engine,
+                         func_engine=args.func_engine))
         return 0
 
     if args.experiments[0] == "trace":
@@ -587,7 +610,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         threads=args.threads,
                         scalar_only=args.scalar_only, out=args.out,
                         max_events=args.max_events,
-                        engine=args.engine))
+                        engine=args.engine,
+                        func_engine=args.func_engine))
         return 0
 
     if args.experiments[0] == "profile":
@@ -597,7 +621,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_profile(args.experiments[1], config=args.config,
                           threads=args.threads,
                           scalar_only=args.scalar_only,
-                          json_path=args.json))
+                          json_path=args.json,
+                          func_engine=args.func_engine))
         return 0
 
     if args.experiments[0] == "determinism":
@@ -626,7 +651,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # (and with it the limit the user asked for)
         parser.error("--timeout must be > 0 seconds")
     if (args.jobs > 1 or args.cache_dir or args.timeout is not None
-            or args.verify or args.telemetry or args.progress):
+            or args.verify or args.telemetry or args.progress
+            or args.func_engine != "reference"):
         from ..timing.run import set_default_profiler, set_trace_cache_dir
         from .runner import ExperimentRunner
         specs = E.matrix_for(names, apps=apps, lanes=lanes)
@@ -644,6 +670,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   retries=args.retries,
                                   verify=args.verify,
                                   engine=args.engine,
+                                  func_engine=args.func_engine,
                                   telemetry=args.telemetry,
                                   progress=args.progress)
         if args.cache_dir:

@@ -181,7 +181,7 @@ def _worker_init(cache_dir: Optional[str]) -> None:
 
 def _spec_payload(spec: RunSpec, timeout_s: Optional[float],
                   max_cycles: int, verify: bool, engine: str,
-                  prof: PhaseProfiler,
+                  func_engine: str, prof: PhaseProfiler,
                   ctx: Dict[str, object]) -> Dict[str, object]:
     """The run body: returns a success payload or raises.
 
@@ -212,10 +212,10 @@ def _spec_payload(spec: RunSpec, timeout_s: Optional[float],
             if hit is not None and not verify:
                 return {"result": hit, "result_cached": True,
                         "trace_cached": None}
-        with span("simulate", engine=engine):
+        with span("simulate", engine=engine, func_engine=func_engine):
             result = simulate(prog, cfg, num_threads=spec.threads,
                               max_cycles=max_cycles, profiler=prof,
-                              engine=engine)
+                              engine=engine, func_engine=func_engine)
         # the profiler only records trace_generation when the functional
         # executor actually ran; absence means cache/memo served it
         trace_cached = "trace_generation" not in prof.phases
@@ -225,7 +225,8 @@ def _spec_payload(spec: RunSpec, timeout_s: Optional[float],
             with prof.phase("differential_check"):
                 report = differential_check(
                     prog, cfg, num_threads=spec.threads,
-                    max_cycles=max_cycles, engine=engine)
+                    max_cycles=max_cycles, engine=engine,
+                    func_engine=func_engine)
             if not report.ok:
                 raise DifferentialMismatch(report)
         if cache is not None:
@@ -239,6 +240,7 @@ def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
                   max_cycles: int,
                   verify: bool = False,
                   engine: str = "event",
+                  func_engine: str = "reference",
                   telemetry: bool = False) -> Dict[str, object]:
     """Execute one spec; never raises (failures come back as data).
 
@@ -274,9 +276,11 @@ def _execute_spec(spec: RunSpec, timeout_s: Optional[float],
     try:
         try:
             with span("run_attempt", app=spec.app, config=spec.config,
-                      threads=spec.threads, engine=engine):
+                      threads=spec.threads, engine=engine,
+                      func_engine=func_engine):
                 payload = _spec_payload(spec, timeout_s, max_cycles,
-                                        verify, engine, prof, ctx)
+                                        verify, engine, func_engine,
+                                        prof, ctx)
         except Exception as exc:
             payload = {"error": {"type": type(exc).__name__,
                                  "message": str(exc),
@@ -335,6 +339,7 @@ class ExperimentRunner:
                  timeout: Optional[float] = None, retries: int = 2,
                  max_cycles: int = DEFAULT_MAX_CYCLES,
                  verify: bool = False, engine: str = "event",
+                 func_engine: str = "reference",
                  telemetry: Union[Telemetry, str, None] = None,
                  progress: bool = False) -> None:
         if jobs < 1:
@@ -346,8 +351,10 @@ class ExperimentRunner:
             # a `--timeout 0` typo would silently disable the limit.
             raise ValueError(
                 "timeout must be > 0 seconds; use None for no limit")
+        from ..functional.fast import validate_func_engine
         from ..timing.machine import validate_engine
         validate_engine(engine)
+        validate_func_engine(func_engine)
         self.jobs = jobs
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.timeout = timeout
@@ -355,6 +362,8 @@ class ExperimentRunner:
         self.max_cycles = max_cycles
         #: timing engine every run replays on ("event" or "columnar")
         self.engine = engine
+        #: functional trace-generation engine ("reference" or "fast")
+        self.func_engine = func_engine
         #: differentially validate every run (functional vs timing); a
         #: mismatch is a structured, non-retryable failure
         self.verify = verify
@@ -402,7 +411,7 @@ class ExperimentRunner:
             prev_col = set_span_collector(SpanCollector(worker="parent"))
         try:
             with span("sweep", jobs=self.jobs, specs=len(ordered),
-                      engine=self.engine):
+                      engine=self.engine, func_engine=self.func_engine):
                 if self.jobs == 1:
                     self._run_serial(ordered)
                 else:
@@ -502,6 +511,7 @@ class ExperimentRunner:
             "app": spec.app, "config": spec.config,
             "threads": spec.threads, "scalar_only": spec.scalar_only,
             "engine": self.engine,
+            "func_engine": self.func_engine,
             "attempt": attempts,
             "worker": payload.get("worker"),
             "outcome": "ok" if err is None else "error",
@@ -526,6 +536,7 @@ class ExperimentRunner:
             "app": spec.app, "config": spec.config,
             "threads": spec.threads, "scalar_only": spec.scalar_only,
             "engine": self.engine,
+            "func_engine": self.func_engine,
             "attempt": attempts,
             "worker": None,
             "outcome": "crash",
@@ -579,6 +590,7 @@ class ExperimentRunner:
                 self._submit_t[spec] = time.time()
                 payload = _execute_spec(spec, self.timeout, self.max_cycles,
                                         self.verify, self.engine,
+                                        self.func_engine,
                                         self.telemetry is not None)
                 self._note_attempt(spec, payload, attempt)
                 done = self._record(spec, payload, attempt) \
@@ -623,7 +635,8 @@ class ExperimentRunner:
                     self._submit_t[s] = time.time()
                     futs[pool.submit(_execute_spec, s, self.timeout,
                                      self.max_cycles, self.verify,
-                                     self.engine, telemetry)] = s
+                                     self.engine, self.func_engine,
+                                     telemetry)] = s
                 not_done = set(futs)
                 while not_done:
                     done, not_done = wait(not_done,
@@ -682,6 +695,7 @@ class ExperimentRunner:
                     payload = pool.submit(
                         _execute_spec, spec, self.timeout,
                         self.max_cycles, self.verify, self.engine,
+                        self.func_engine,
                         self.telemetry is not None).result()
             except BrokenProcessPool:
                 self._record_crash(spec, attempts)

@@ -53,13 +53,14 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 from .chrome_trace import track_metadata
 
 #: run-ledger record schema version (bump on breaking field changes)
-LEDGER_SCHEMA = 1
+LEDGER_SCHEMA = 2
 
-#: every field of a schema-1 run record, in canonical order; the golden
+#: every field of a schema-2 run record, in canonical order; the golden
 #: ledger test asserts records carry exactly these keys
 RUN_RECORD_FIELDS = (
     "schema", "app", "config", "threads", "scalar_only", "engine",
-    "attempt", "worker", "outcome", "error_type", "cycles", "wall_s",
+    "func_engine", "attempt", "worker", "outcome", "error_type",
+    "cycles", "wall_s",
     "queue_wait_s", "t_start", "t_end", "result_cached", "trace_cached",
     "program_digest", "config_digest", "phases", "cache",
 )
@@ -457,6 +458,14 @@ class TelemetryReader:
             key = str(r.get("error_type") or "unknown")
             failure_classes[key] = failure_classes.get(key, 0) + 1
 
+        engine_mix: Dict[str, int] = {}
+        func_engine_mix: Dict[str, int] = {}
+        for r in recs:
+            eng = str(r.get("engine") or "unknown")
+            engine_mix[eng] = engine_mix.get(eng, 0) + 1
+            feng = str(r.get("func_engine") or "unknown")
+            func_engine_mix[feng] = func_engine_mix.get(feng, 0) + 1
+
         return {
             "attempts": len(recs),
             "runs": len(runs),
@@ -477,6 +486,8 @@ class TelemetryReader:
             "total_cycles": cycles,
             "throughput_cycles_per_s": (cycles / span_s
                                         if span_s > 0 else None),
+            "engine_mix": engine_mix,
+            "func_engine_mix": func_engine_mix,
             "cache_counters": cache_totals,
             "trace_cache_hit_rate": hit_rate("trace"),
             "result_cache_hit_rate": hit_rate("result"),
@@ -512,6 +523,11 @@ class TelemetryReader:
             f"  cache: result hit rate {pct(m['result_cache_hit_rate'])} "
             f"({m['result_cache_served']} runs served), trace hit rate "
             f"{pct(m['trace_cache_hit_rate'])}",
+            "  engines: timing " + ", ".join(
+                f"{k} x{v}" for k, v in sorted(m["engine_mix"].items()))
+            + "; functional " + ", ".join(
+                f"{k} x{v}"
+                for k, v in sorted(m["func_engine_mix"].items())),
         ]
         if m["phase_totals"]:
             total = sum(p["wall_s"] for p in m["phase_totals"].values())
@@ -539,6 +555,7 @@ TREND_METRICS = (
     ("timing_replay", "cycles_per_s"),
     ("timing_replay_columnar", "cycles_per_s"),
     ("functional", "ops_per_s"),
+    ("trace_generation_fast", "ops_per_s"),
 )
 
 

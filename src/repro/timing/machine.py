@@ -350,10 +350,17 @@ def run_traces(cfg: MachineConfig, trace: ProgramTrace,
     validate_engine(engine)
 
     def build():
-        cols = ([t.columns() for t in trace.threads]
-                if engine == "columnar" else None)
-        return TimingMachine(cfg, [t.ops for t in trace.threads],
-                             max_cycles=max_cycles, obs=obs,
+        if engine == "columnar":
+            # Replay straight off the flat arrays; hand the machine lazy
+            # DynOp views so a trace that only exists in columnar form
+            # (fast executor, npz cache) is never decoded per-op unless
+            # event emission / error reporting actually touches an op.
+            cols = [t.columns() for t in trace.threads]
+            ops = [t.ops_view() for t in trace.threads]
+        else:
+            cols = None
+            ops = [t.ops for t in trace.threads]
+        return TimingMachine(cfg, ops, max_cycles=max_cycles, obs=obs,
                              engine=engine, columns=cols)
 
     if profiler is None:

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..functional.executor import Executor
+from ..functional.fast import FastExecutor, validate_func_engine
 from ..functional.trace import DynOp, ProgramTrace
 from ..isa.program import Program
 from ..obs.events import COMMIT, EventBus, LANE_ISSUE, VISSUE
@@ -294,7 +295,8 @@ def differential_check(program: Program, cfg: MachineConfig,
                        num_threads: int = 1,
                        max_cycles: int = 50_000_000,
                        trace: Optional[ProgramTrace] = None,
-                       engine: str = "event") -> DiffReport:
+                       engine: str = "event",
+                       func_engine: str = "reference") -> DiffReport:
     """Cross-check one timing run against the functional executor.
 
     ``trace`` overrides the trace under test (defaults to the cached
@@ -303,17 +305,31 @@ def differential_check(program: Program, cfg: MachineConfig,
     timing replay engine under test -- with ``engine="columnar"`` the
     commit/issue streams of the columnar machine are checked against
     the same functional reference, which (combined with cycle-count
-    comparison) is the columnar-vs-event gate.  Returns a
+    comparison) is the columnar-vs-event gate.  ``func_engine="fast"``
+    puts the fast functional engine under test instead: the trace under
+    test is regenerated by :class:`FastExecutor` (bypassing the trace
+    memo, so the fast engine really runs) and the second functional
+    execution of the state diff also uses it -- trace, final state,
+    and memory are then all fast-vs-reference comparisons.  Returns a
     :class:`DiffReport`; ``report.ok`` means full agreement.
     """
+    validate_func_engine(func_engine)
+    fast = func_engine == "fast"
     report = DiffReport(program_name=program.name, config_name=cfg.name,
                         num_threads=num_threads)
-    tut = trace if trace is not None else trace_for(program, num_threads)
+    if trace is not None:
+        tut = trace
+    elif fast:
+        tut = FastExecutor(program, num_threads=num_threads,
+                           record_trace=True).run()
+    else:
+        tut = trace_for(program, num_threads)
 
     # 1/2: independent functional executions -- trace + state agreement
     ex1 = Executor(program, num_threads=num_threads, record_trace=True)
     ref_trace = ex1.run()
-    ex2 = Executor(program, num_threads=num_threads, record_trace=False)
+    cls2 = FastExecutor if fast else Executor
+    ex2 = cls2(program, num_threads=num_threads, record_trace=False)
     ex2.run()
     _diff_traces(ref_trace, tut, report)
     _diff_final_state(ex1, ex2, report)

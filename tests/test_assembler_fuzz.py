@@ -1,15 +1,26 @@
-"""Assembler robustness: arbitrary input never crashes unexpectedly.
+"""Assembler robustness and engine-differential fuzzing.
 
-Every input either assembles to a valid program or raises
-:class:`AssemblerError` / :class:`ValueError` with line context -- never
-an uncontrolled exception type.
+Two layers:
+
+* arbitrary input never crashes the assembler unexpectedly -- every
+  input either assembles to a valid program or raises
+  :class:`AssemblerError` / :class:`ValueError` with line context;
+* random *valid* programs (masked vector ops, ``vltcfg``,
+  tid-divergent branches, bounded loops) must execute bit-identically
+  on the fast block-compiled engine and the reference interpreter --
+  identical trace bytes, memory, and register state, or the same
+  :class:`ExecutionError`.
 """
 
 import string
 
+import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.functional import (ExecutionError, Executor, FastExecutor,
+                              trace_to_bytes)
 from repro.isa import AssemblerError, assemble
 from repro.isa.opcodes import OPCODES
 
@@ -63,3 +74,79 @@ class TestFuzz:
             assert "lbl" in str(exc) or "label" in str(exc)
             return
         assert prog.instrs[-1].spec.is_halt
+
+
+# --------------------------------------------------------------------------
+# Fast-vs-reference differential fuzz
+# --------------------------------------------------------------------------
+
+#: self-contained fragments; ``{i}`` is a unique suffix for labels,
+#: ``{r}`` a small random immediate.  Only forward branches and one
+#: bounded backward loop, so every composition terminates.
+_DIFF_FRAGMENTS = [
+    "li s1, {r}",
+    "addi s2, s2, {r}",
+    "mul s3, s2, s1",
+    "div s4, s3, s1",
+    "rem s5, s3, s2",
+    "sll s6, s1, s2",
+    "srl s6, s3, s2",
+    "sra s6, s3, s1",
+    "tid s7\nbne s7, s0, skip{i}\naddi s2, s2, 7\nskip{i}:",
+    "tid s7\nslli s8, s7, 3\nli s9, &out\nadd s9, s9, s8\nst s2, 0(s9)",
+    "li s7, {vl}\nsetvl s8, s7\nli s9, &x\nvld v1, 0(s9)",
+    "vslt.vs v1, s0\nvadd.vs.m v2, v1, s1",
+    "li s9, &x\nvmul.vs v3, v2, s2\nvst v3, 0(s9)",
+    "vsll.vs v2, v2, s2\nvsra.vs v3, v3, s1",
+    "vdiv.vs v4, v2, s2\nvrem.vs v5, v2, s2",
+    "vltcfg 2",
+    "barrier",
+    "li s10, 0\nloop{i}:\naddi s10, s10, 1\nblt s10, s11, loop{i}",
+]
+
+_DIFF_PROLOGUE = """.space x 2048
+.space out 2048
+li s11, 5
+li s1, 3
+li s2, 2
+"""
+
+
+def _diff_program(picks):
+    lines = [_DIFF_PROLOGUE]
+    for i, (frag, r) in enumerate(picks):
+        lines.append(_DIFF_FRAGMENTS[frag].format(i=i, r=r,
+                                                  vl=8 + 8 * (r % 8)))
+    lines.append("halt")
+    return assemble("\n".join(lines), name="fuzz")
+
+
+class TestEngineDifferentialFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        picks=st.lists(
+            st.tuples(st.integers(0, len(_DIFF_FRAGMENTS) - 1),
+                      st.integers(0, 31)),
+            min_size=1, max_size=20),
+        threads=st.sampled_from([1, 2, 4]),
+    )
+    def test_fast_matches_reference(self, picks, threads):
+        prog = _diff_program(picks)
+        ref = Executor(prog, num_threads=threads, max_ops=200_000)
+        try:
+            ref_trace = ref.run()
+        except ExecutionError:
+            with pytest.raises(ExecutionError):
+                FastExecutor(prog, num_threads=threads,
+                             max_ops=200_000).run()
+            return
+        fast = FastExecutor(prog, num_threads=threads, max_ops=200_000)
+        fast_trace = fast.run()
+        assert trace_to_bytes(fast_trace) == trace_to_bytes(ref_trace)
+        assert bytes(fast.mem.u8) == bytes(ref.mem.u8)
+        for sr, sf in zip(ref.states, fast.states):
+            assert sr.s == sf.s
+            assert sr.f == sf.f
+            assert np.array_equal(sr.v_i, sf.v_i)
+            assert np.array_equal(sr.vm, sf.vm)
+            assert sr.vl == sf.vl

@@ -23,8 +23,11 @@ def _payload(**overrides):
     results = {
         "end_to_end": {"cycles_per_s": 1_000_000.0},
         "timing_replay": {"cycles_per_s": 2_000_000.0},
-        "timing_replay_columnar": {"cycles_per_s": 40_000_000.0},
+        "timing_replay_columnar": {"cycles_per_s": 40_000_000.0,
+                                   "speedup_vs_event": 20.0},
         "functional": {"ops_per_s": 500_000.0},
+        "trace_generation_fast": {"ops_per_s": 6_000_000.0,
+                                  "speedup_vs_reference": 12.0},
     }
     for key, row in overrides.items():
         results[key] = row
@@ -81,6 +84,9 @@ class TestGate:
     def test_columnar_row_is_gated(self):
         assert ("timing_replay_columnar", "cycles_per_s") in cb._GATED
 
+    def test_fast_trace_generation_row_is_gated(self):
+        assert ("trace_generation_fast", "ops_per_s") in cb._GATED
+
     def test_main_exit_codes(self, tmp_path, capsys):
         import json
         b = tmp_path / "base.json"
@@ -93,3 +99,59 @@ class TestGate:
         assert cb.main([str(b), str(c)]) == 1
         out = capsys.readouterr().out
         assert "INVALID" in out
+
+
+class TestMinSpeedup:
+    def test_passing_speedup(self):
+        lines, failures = cb.check_min_speedups(
+            _payload(), [("trace_generation_fast", 5.0)])
+        assert not failures
+        assert any("speedup_vs_reference" in ln and "OK" in ln
+                   for ln in lines)
+
+    def test_below_factor_fails(self):
+        cand = _payload(trace_generation_fast={
+            "ops_per_s": 6_000_000.0, "speedup_vs_reference": 3.0})
+        _, failures = cb.check_min_speedups(
+            cand, [("trace_generation_fast", 5.0)])
+        assert len(failures) == 1
+        assert "below required 5x" in failures[0]
+
+    def test_missing_speedup_field_fails(self):
+        cand = _payload(trace_generation_fast={"ops_per_s": 1.0})
+        _, failures = cb.check_min_speedups(
+            cand, [("trace_generation_fast", 5.0)])
+        assert failures and "no speedup_vs_*" in failures[0]
+        _, failures = cb.check_min_speedups(
+            _payload(), [("nosuchrow", 2.0)])
+        assert failures
+
+    def test_columnar_speedup_field_is_found(self):
+        lines, failures = cb.check_min_speedups(
+            _payload(), [("timing_replay_columnar", 10.0)])
+        assert not failures
+        assert any("speedup_vs_event" in ln for ln in lines)
+
+    def test_cli_flag(self, tmp_path, capsys):
+        import json
+        b = tmp_path / "base.json"
+        c = tmp_path / "cand.json"
+        b.write_text(json.dumps(_payload()))
+        c.write_text(json.dumps(_payload()))
+        assert cb.main([str(b), str(c),
+                        "--min-speedup", "trace_generation_fast:5"]) == 0
+        assert "engine speedup gates:" in capsys.readouterr().out
+        assert cb.main([str(b), str(c),
+                        "--min-speedup",
+                        "trace_generation_fast:50"]) == 1
+        out = capsys.readouterr().out
+        assert "below required 50x" in out
+
+    def test_cli_flag_rejects_malformed(self, tmp_path, capsys):
+        import json
+        b = tmp_path / "base.json"
+        b.write_text(json.dumps(_payload()))
+        with pytest.raises(SystemExit):
+            cb.main([str(b), str(b), "--min-speedup", "nocolon"])
+        with pytest.raises(SystemExit):
+            cb.main([str(b), str(b), "--min-speedup", "key:abc"])

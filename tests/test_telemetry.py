@@ -161,6 +161,18 @@ class TestLedger:
             assert isinstance(got, type(want)), \
                 f"{key}: {type(got).__name__} != {type(want).__name__}"
 
+    def test_func_engine_recorded(self, tmp_path):
+        r = ExperimentRunner(jobs=1, func_engine="fast",
+                             telemetry=tmp_path / "tele")
+        r.run([_SPECS[0]])
+        recs = read_jsonl(tmp_path / "tele" / "ledger.jsonl")
+        assert [rec["func_engine"] for rec in recs] == ["fast"]
+        assert all(validate_run_record(rec) == [] for rec in recs)
+        reader = TelemetryReader(recs)
+        assert reader.fleet_metrics()["func_engine_mix"] == {"fast": 1}
+        assert "functional fast x1" in reader.report()
+        assert "timing event x1" in reader.report()
+
     def test_every_attempt_is_a_record(self, tmp_path):
         r = ExperimentRunner(jobs=1, retries=1,
                              telemetry=tmp_path / "tele")
