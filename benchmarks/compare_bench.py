@@ -16,7 +16,11 @@ cycles/s are compared with the same threshold.  ``--min-speedup
 KEY:FACTOR`` additionally requires the candidate's KEY row to record a
 ``speedup_vs_*`` of at least FACTOR (e.g.
 ``--min-speedup trace_generation_fast:5`` gates the fast functional
-engine against its reference).  Speedups and small
+engine against its reference).  ``--min-metric KEY:METRIC:MIN``
+requires an absolute floor on any candidate metric, baseline-free
+(e.g. ``--min-metric duplicate_burst:dedupe_fraction:0.9`` gates the
+service bench's dedupe collapse); the same gates also serve
+``BENCH_service_throughput.json`` in the service-smoke job.  Speedups and small
 regressions just print.  Absolute numbers differ across hosts, so this
 is only meaningful when both files come from the same machine (as in
 one CI job) -- it is a smoke gate against order-of-magnitude slowdowns,
@@ -31,13 +35,17 @@ import math
 import sys
 from typing import List, Optional, Tuple
 
-#: (result key, metric) pairs gated by --max-regression
+#: (result key, metric) pairs gated by --max-regression; keys absent
+#: from both files are skipped, so the same gate list serves every
+#: BENCH_*.json family (simulator speed and service throughput)
 _GATED: Tuple[Tuple[str, str], ...] = (
     ("end_to_end", "cycles_per_s"),
     ("timing_replay", "cycles_per_s"),
     ("timing_replay_columnar", "cycles_per_s"),
     ("functional", "ops_per_s"),
     ("trace_generation_fast", "ops_per_s"),
+    ("duplicate_burst", "jobs_per_s"),
+    ("mixed_load", "jobs_per_s"),
 )
 
 
@@ -134,6 +142,52 @@ def check_min_speedups(candidate: dict,
     return lines, failures
 
 
+def check_min_metrics(candidate: dict,
+                      specs: List[Tuple[str, str, float]]
+                      ) -> Tuple[List[str], List[str]]:
+    """Gate candidate rows on an absolute metric floor.
+
+    Each spec is ``(result key, metric, minimum)``: the candidate's KEY
+    row must carry METRIC >= MINIMUM.  Unlike --max-regression this
+    needs no baseline, so it suits host-independent invariants -- e.g.
+    ``duplicate_burst:dedupe_fraction:0.9`` requires the service bench
+    to show at least 90% of a duplicate burst served without
+    re-simulation.  A missing row or field fails: a bench that silently
+    stopped measuring the invariant must not pass the gate.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    for key, metric, minimum in specs:
+        value = _metric(candidate, key, metric)
+        label = f"{key}.{metric}"
+        if value is None:
+            failures.append(f"{label}: missing from candidate "
+                            f"(min {minimum:g} requested)")
+            lines.append(f"  {label:<28} missing  FAIL")
+            continue
+        if not math.isfinite(value) or value < minimum:
+            failures.append(f"{label}: {value:g} below required "
+                            f"{minimum:g}")
+            lines.append(f"  {label:<28} {value:g}  "
+                         f"(need >= {minimum:g})  FAIL")
+        else:
+            lines.append(f"  {label:<28} {value:g}  "
+                         f"(need >= {minimum:g})  OK")
+    return lines, failures
+
+
+def _parse_min_metric(text: str) -> Tuple[str, str, float]:
+    parts = text.split(":")
+    if len(parts) != 3 or not parts[0] or not parts[1]:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY:METRIC:MIN, got {text!r}")
+    try:
+        return parts[0], parts[1], float(parts[2])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"MIN in {text!r} is not a number")
+
+
 def _parse_min_speedup(text: str) -> Tuple[str, float]:
     key, sep, factor = text.partition(":")
     if not sep or not key:
@@ -161,6 +215,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="require the candidate's KEY row to record a "
                              "speedup_vs_* of at least FACTOR (repeatable; "
                              "e.g. trace_generation_fast:5)")
+    parser.add_argument("--min-metric", metavar="KEY:METRIC:MIN",
+                        type=_parse_min_metric, action="append",
+                        default=[],
+                        help="require the candidate's KEY row to carry "
+                             "METRIC >= MIN (repeatable; e.g. "
+                             "duplicate_burst:dedupe_fraction:0.9)")
     parser.add_argument("--append-history", metavar="DIR", default=None,
                         help="also append the candidate snapshot to this "
                              "bench-trend history directory "
@@ -189,6 +249,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for line in sp_lines:
             print(line)
         failures.extend(sp_failures)
+    if args.min_metric:
+        mm_lines, mm_failures = check_min_metrics(candidate,
+                                                  args.min_metric)
+        print("metric floor gates:")
+        for line in mm_lines:
+            print(line)
+        failures.extend(mm_failures)
     if failures:
         print("FAILED:")
         for f in failures:

@@ -60,7 +60,7 @@ EXPERIMENT_NAMES = ["table1", "table2", "table3", "table4",
 #: test asserts each one is documented somewhere under docs/ or README
 CLI_VERBS = tuple(EXPERIMENT_NAMES) + (
     "all", "verify", "mix", "run", "trace", "profile", "determinism",
-    "cache", "lint", "diff", "tele")
+    "cache", "lint", "diff", "tele", "serve")
 
 
 def verify_workloads(apps: Optional[List[str]] = None) -> str:
@@ -515,6 +515,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "oracle) or 'columnar' (NumPy array replay, "
                              "verified bit-identical; see "
                              "docs/architecture.md)")
+    parser.add_argument("--host", type=str, default="127.0.0.1",
+                        help="bind address for the 'serve' verb")
+    parser.add_argument("--port", type=int, default=8373,
+                        help="TCP port for the 'serve' verb (0 = pick "
+                             "an ephemeral port)")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="per-tenant submissions/s refill "
+                             "('serve' verb)")
+    parser.add_argument("--burst", type=float, default=100.0,
+                        help="per-tenant submission burst capacity "
+                             "('serve' verb)")
+    parser.add_argument("--max-inflight", type=int, default=256,
+                        help="per-tenant unfinished-job quota "
+                             "('serve' verb)")
+    parser.add_argument("--cache-budget-mb", type=float, default=None,
+                        help="LRU size budget for --cache-dir in MB "
+                             "('serve' verb; oldest entries evicted)")
     parser.add_argument("--func-engine", type=str, default="reference",
                         choices=("reference", "fast"),
                         help="functional trace-generation engine: "
@@ -583,13 +600,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.cache_dir:
             parser.error("the cache verb requires --cache-dir")
         from ..functional.trace_cache import TraceCache
-        cache = TraceCache(args.cache_dir)
+        # CLI maintenance entry point: keep the historic startup sweep
+        cache = TraceCache(args.cache_dir, sweep_on_init=True)
         if args.experiments[1] == "stats":
             print(json.dumps(cache.stats(), indent=2))
         else:
             removed = cache.clear()
             print(f"removed {removed} cache entries under {args.cache_dir}")
         return 0
+
+    if args.experiments[0] == "serve":
+        if len(args.experiments) != 1:
+            parser.error("usage: vlt-repro serve [--host H --port P "
+                         "--jobs N --cache-dir DIR --cache-budget-mb M "
+                         "--telemetry DIR --timeout S --retries K "
+                         "--rate R --burst B --max-inflight Q]")
+        from ..service import ServiceConfig, serve
+        budget = None
+        if args.cache_budget_mb is not None:
+            budget = int(args.cache_budget_mb * 1024 * 1024)
+        return serve(ServiceConfig(
+            host=args.host, port=args.port, workers=max(1, args.jobs),
+            cache_dir=args.cache_dir, telemetry_dir=args.telemetry,
+            timeout=args.timeout, retries=args.retries,
+            rate=args.rate, burst=args.burst,
+            max_inflight=args.max_inflight,
+            cache_budget_bytes=budget))
 
     if args.experiments[0] == "run":
         if len(args.experiments) != 2:
@@ -674,7 +710,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                   telemetry=args.telemetry,
                                   progress=args.progress)
         if args.cache_dir:
-            set_trace_cache_dir(args.cache_dir)
+            # one sweep in the CLI parent; pool workers attach sweepless
+            set_trace_cache_dir(args.cache_dir, sweep=True)
         # parent-side runs (table4, doc extensions) count in one profile
         set_default_profiler(runner.profiler)
         if specs:

@@ -52,14 +52,17 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from .chrome_trace import track_metadata
 
-#: run-ledger record schema version (bump on breaking field changes)
-LEDGER_SCHEMA = 2
+#: run-ledger record schema version (bump on breaking field changes).
+#: Schema 3 added the job-service provenance fields ``tenant`` and
+#: ``job_id`` (both None for CLI/runner sweeps).
+LEDGER_SCHEMA = 3
 
-#: every field of a schema-2 run record, in canonical order; the golden
+#: every field of a schema-3 run record, in canonical order; the golden
 #: ledger test asserts records carry exactly these keys
 RUN_RECORD_FIELDS = (
     "schema", "app", "config", "threads", "scalar_only", "engine",
-    "func_engine", "attempt", "worker", "outcome", "error_type",
+    "func_engine", "attempt", "worker", "tenant", "job_id",
+    "outcome", "error_type",
     "cycles", "wall_s",
     "queue_wait_s", "t_start", "t_end", "result_cached", "trace_cached",
     "program_digest", "config_digest", "phases", "cache",
@@ -430,8 +433,14 @@ class TelemetryReader:
         utilization = (busy_s / (len(workers) * span_s)
                        if workers and span_s > 0 else None)
 
-        waits = [float(r["queue_wait_s"]) for r in recs
-                 if r.get("queue_wait_s") is not None]
+        # Queue-wait stamps cross process boundaries (submit in the
+        # parent, start in a worker): clock skew between them can make
+        # the difference negative, which would corrupt the percentiles.
+        # Clamp each record at >= 0 and surface how many were clamped.
+        raw_waits = [float(r["queue_wait_s"]) for r in recs
+                     if r.get("queue_wait_s") is not None]
+        waits_clamped = sum(1 for w in raw_waits if w < 0.0)
+        waits = [max(0.0, w) for w in raw_waits]
         cycles = sum(int(r["cycles"]) for r in ok
                      if r.get("cycles") is not None)
 
@@ -460,11 +469,15 @@ class TelemetryReader:
 
         engine_mix: Dict[str, int] = {}
         func_engine_mix: Dict[str, int] = {}
+        tenant_mix: Dict[str, int] = {}
         for r in recs:
             eng = str(r.get("engine") or "unknown")
             engine_mix[eng] = engine_mix.get(eng, 0) + 1
             feng = str(r.get("func_engine") or "unknown")
             func_engine_mix[feng] = func_engine_mix.get(feng, 0) + 1
+            if r.get("tenant") is not None:   # service-submitted runs
+                ten = str(r["tenant"])
+                tenant_mix[ten] = tenant_mix.get(ten, 0) + 1
 
         return {
             "attempts": len(recs),
@@ -483,11 +496,13 @@ class TelemetryReader:
             "worker_utilization": utilization,
             "queue_wait_p50_s": _percentile(waits, 50),
             "queue_wait_p95_s": _percentile(waits, 95),
+            "queue_wait_clamped": waits_clamped,
             "total_cycles": cycles,
             "throughput_cycles_per_s": (cycles / span_s
                                         if span_s > 0 else None),
             "engine_mix": engine_mix,
             "func_engine_mix": func_engine_mix,
+            "tenant_mix": tenant_mix,
             "cache_counters": cache_totals,
             "trace_cache_hit_rate": hit_rate("trace"),
             "result_cache_hit_rate": hit_rate("result"),
@@ -519,7 +534,10 @@ class TelemetryReader:
             + (f" ({m['throughput_cycles_per_s']:,.0f} cycles/s)"
                if m["throughput_cycles_per_s"] is not None else ""),
             f"  queue wait: p50 {secs(m['queue_wait_p50_s'])}, "
-            f"p95 {secs(m['queue_wait_p95_s'])}",
+            f"p95 {secs(m['queue_wait_p95_s'])}"
+            + (f"  [{m['queue_wait_clamped']} record(s) clamped to 0 "
+               f"-- negative cross-process stamps]"
+               if m["queue_wait_clamped"] else ""),
             f"  cache: result hit rate {pct(m['result_cache_hit_rate'])} "
             f"({m['result_cache_served']} runs served), trace hit rate "
             f"{pct(m['trace_cache_hit_rate'])}",
@@ -529,6 +547,9 @@ class TelemetryReader:
                 f"{k} x{v}"
                 for k, v in sorted(m["func_engine_mix"].items())),
         ]
+        if m["tenant_mix"]:
+            lines.append("  tenants: " + ", ".join(
+                f"{k} x{v}" for k, v in sorted(m["tenant_mix"].items())))
         if m["phase_totals"]:
             total = sum(p["wall_s"] for p in m["phase_totals"].values())
             top = sorted(m["phase_totals"].items(),
@@ -556,6 +577,9 @@ TREND_METRICS = (
     ("timing_replay_columnar", "cycles_per_s"),
     ("functional", "ops_per_s"),
     ("trace_generation_fast", "ops_per_s"),
+    ("duplicate_burst", "jobs_per_s"),
+    ("duplicate_burst", "dedupe_fraction"),
+    ("mixed_load", "jobs_per_s"),
 )
 
 
@@ -631,7 +655,12 @@ def bench_trend_report(history_dir, last: int = 5) -> str:
         row = f"  {label:<{width}}"
         series = [value(e, key, metric) for e in window]
         for v in series:
-            row += f"  {v / 1e3:>5,.0f}k" if v is not None else "      -"
+            if v is None:
+                row += "      -"
+            elif v >= 10_000:            # throughput-scale values
+                row += f"  {v / 1e3:>5,.0f}k"
+            else:                        # jobs/s, fractions, ...
+                row += f"  {v:>6,.2f}"
         present = [v for v in series if v is not None]
         if len(present) >= 2 and present[0]:
             row += f"   {present[-1] / present[0] - 1.0:+.0%} over window"

@@ -1,0 +1,33 @@
+"""Simulation-as-a-service: an asyncio job server over the harness.
+
+The experiment harness (PRs 3-8) made single-shot sweeps cached,
+parallel and observable; this package turns it into a *long-running
+service*.  An asyncio HTTP/JSON front end accepts ``(app, config,
+threads)`` jobs from many clients, collapses concurrent identical
+submissions onto one in-flight simulation (single-flight dedupe keyed
+by the PR 3 content digests), batches trace-compatible jobs per worker,
+guards admission with per-tenant token buckets and in-flight quotas,
+bounds the on-disk :class:`~repro.functional.trace_cache.TraceCache`
+with LRU + size-budget eviction, and threads fleet telemetry (run
+ledger, spans, ``/metrics``) through every executed run.
+
+Entry points:
+
+* :class:`SimulationService` -- the embeddable server object
+* :func:`serve` -- blocking ``vlt-repro serve`` driver
+* :class:`ServiceClient` -- tiny stdlib HTTP client (tests, load gen)
+
+See ``docs/service.md`` for the endpoint reference and semantics.
+"""
+
+from .jobs import Job, JobRequest, job_key
+from .ratelimit import TenantGovernor, TokenBucket
+from .server import ServiceConfig, SimulationService, serve
+from .client import ServiceClient
+
+__all__ = [
+    "Job", "JobRequest", "job_key",
+    "TokenBucket", "TenantGovernor",
+    "ServiceConfig", "SimulationService", "serve",
+    "ServiceClient",
+]

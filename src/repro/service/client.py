@@ -1,0 +1,132 @@
+"""A tiny blocking HTTP client for the simulation service.
+
+Stdlib-only (``http.client``); used by the end-to-end tests, the
+``benchmarks/bench_service.py`` load generator and the CI smoke job.
+Each call opens one connection (the server speaks ``Connection:
+close``), so a client object is cheap and thread-safe to share.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.server.SimulationService`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8373,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 headers: Optional[Dict[str, str]] = None,
+                 ) -> Tuple[int, Dict[str, Any]]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") \
+                if body is not None else None
+            hdrs = {"Content-Type": "application/json"}
+            if headers:
+                hdrs.update(headers)
+            conn.request(method, path, body=payload, headers=hdrs)
+            resp = conn.getresponse()
+            raw = resp.read()
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+            return resp.status, doc
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def submit(self, app: str, config: str, threads: int = 1,
+               tenant: Optional[str] = None,
+               **fields: Any) -> Dict[str, Any]:
+        """POST /jobs; returns the acceptance doc (id, state, key,
+        deduped).  Raises :class:`ServiceError` on 4xx/5xx -- a 429
+        carries the governor's rejection reason in ``body['reason']``."""
+        body: Dict[str, Any] = {"app": app, "config": config,
+                                "threads": threads}
+        body.update(fields)
+        headers = {"X-Tenant": tenant} if tenant is not None else None
+        status, doc = self._request("POST", "/jobs", body=body,
+                                    headers=headers)
+        if status != 202:
+            raise ServiceError(status, doc)
+        return doc
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        status, doc = self._request("GET", f"/jobs/{job_id}")
+        if status != 200:
+            raise ServiceError(status, doc)
+        return doc
+
+    def result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """GET /jobs/<id>/result; None while the job is still pending."""
+        status, doc = self._request("GET", f"/jobs/{job_id}/result")
+        if status == 202:
+            return None
+        if status != 200:
+            raise ServiceError(status, doc)
+        return doc
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_s: float = 0.02) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the result doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.result(job_id)
+            if doc is not None:
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still pending after "
+                                   f"{timeout:g}s")
+            time.sleep(poll_s)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """GET /jobs/<id>/stream; yields each ndjson line as a dict
+        (state events, then one ``{"final": status}`` line)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/stream")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raw = resp.read()
+                doc = json.loads(raw.decode("utf-8")) if raw else {}
+                raise ServiceError(resp.status, doc)
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def metrics(self) -> Dict[str, Any]:
+        status, doc = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, doc)
+        return doc
+
+    def healthz(self) -> Dict[str, Any]:
+        status, doc = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServiceError(status, doc)
+        return doc

@@ -1,0 +1,97 @@
+"""Admission control for the simulation service.
+
+Two independent guards, both per tenant:
+
+* a **token bucket** limits sustained submission *rate* (``rate``
+  tokens/second refill, ``burst`` bucket capacity) -- a client may burst
+  up to ``burst`` submissions, then is throttled to the refill rate;
+* an **in-flight quota** caps how many of one tenant's jobs may be
+  unfinished at once, so a single tenant cannot occupy the whole worker
+  pool no matter how politely it paces its submissions.
+
+Both are plain synchronous objects driven from the single-threaded
+asyncio loop; the injectable ``clock`` keeps the tests deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` cap."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False means throttled."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class TenantGovernor:
+    """Per-tenant admission: token-bucket rate + in-flight quota."""
+
+    def __init__(self, rate: float = 50.0, burst: float = 100.0,
+                 max_inflight: int = 256,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_inflight = int(max_inflight)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._inflight: Dict[str, int] = {}
+
+    def admit(self, tenant: str) -> Optional[str]:
+        """Try to admit one submission; returns a rejection reason or
+        None (admitted -- the in-flight slot is held until
+        :meth:`release`)."""
+        inflight = self._inflight.get(tenant, 0)
+        if inflight >= self.max_inflight:
+            return (f"tenant {tenant!r} has {inflight} unfinished jobs "
+                    f"(quota {self.max_inflight})")
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.rate, self.burst, clock=self._clock)
+        if not bucket.try_acquire():
+            return (f"tenant {tenant!r} exceeded {self.rate:g} "
+                    f"submissions/s (burst {self.burst:g})")
+        self._inflight[tenant] = inflight + 1
+        return None
+
+    def release(self, tenant: str) -> None:
+        """Return one in-flight slot (job reached a terminal state)."""
+        left = self._inflight.get(tenant, 0) - 1
+        if left > 0:
+            self._inflight[tenant] = left
+        else:
+            self._inflight.pop(tenant, None)
+
+    def inflight(self, tenant: str) -> int:
+        return self._inflight.get(tenant, 0)

@@ -52,7 +52,10 @@ class TestGate:
     def test_identical_payloads_pass(self):
         lines, failures = cb.compare(_payload(), _payload(), 0.30)
         assert not failures
-        assert all("OK" in ln for ln in lines)
+        # every row present in the payload gates OK; rows from other
+        # bench families (the service throughput file) are skipped
+        assert all("OK" in ln or "skipped" in ln for ln in lines)
+        assert sum("OK" in ln for ln in lines) == 5
 
     def test_zero_candidate_fails_the_gate(self):
         cand = _payload(timing_replay_columnar={"cycles_per_s": 0.0})
@@ -155,3 +158,73 @@ class TestMinSpeedup:
             cb.main([str(b), str(b), "--min-speedup", "nocolon"])
         with pytest.raises(SystemExit):
             cb.main([str(b), str(b), "--min-speedup", "key:abc"])
+
+
+def _service_payload(**overrides):
+    results = {
+        "duplicate_burst": {"jobs": 100, "jobs_per_s": 120.0,
+                            "simulated_runs": 1,
+                            "dedupe_fraction": 0.99},
+        "mixed_load": {"jobs": 40, "jobs_per_s": 15.0,
+                       "simulated_runs": 4},
+    }
+    results.update(overrides)
+    return {"benchmark": "service_throughput", "results": results}
+
+
+class TestMinMetric:
+    def test_floor_met(self):
+        lines, failures = cb.check_min_metrics(
+            _service_payload(),
+            [("duplicate_burst", "dedupe_fraction", 0.9)])
+        assert not failures
+        assert any("OK" in ln for ln in lines)
+
+    def test_below_floor_fails(self):
+        cand = _service_payload(
+            duplicate_burst={"jobs_per_s": 120.0,
+                             "dedupe_fraction": 0.5})
+        _, failures = cb.check_min_metrics(
+            cand, [("duplicate_burst", "dedupe_fraction", 0.9)])
+        assert len(failures) == 1
+        assert "below required 0.9" in failures[0]
+
+    def test_missing_metric_fails(self):
+        _, failures = cb.check_min_metrics(
+            _service_payload(), [("duplicate_burst", "nosuch", 1.0),
+                                 ("nosuchrow", "x", 1.0)])
+        assert len(failures) == 2
+        assert all("missing" in f for f in failures)
+
+    def test_service_rows_share_the_regression_gate(self):
+        """The service throughput rows ride the same --max-regression
+        comparison; simulator-only rows are skipped, not failed."""
+        assert ("duplicate_burst", "jobs_per_s") in cb._GATED
+        assert ("mixed_load", "jobs_per_s") in cb._GATED
+        lines, failures = cb.compare(_service_payload(),
+                                     _service_payload(), 0.30)
+        assert not failures
+        assert any("duplicate_burst.jobs_per_s" in ln and "OK" in ln
+                   for ln in lines)
+        assert any("end_to_end" in ln and "skipped" in ln
+                   for ln in lines)
+        slow = _service_payload(
+            duplicate_burst={"jobs_per_s": 10.0,
+                             "dedupe_fraction": 0.99})
+        _, failures = cb.compare(_service_payload(), slow, 0.30)
+        assert failures and "duplicate_burst" in failures[0]
+
+    def test_cli_flag(self, tmp_path, capsys):
+        import json
+        b = tmp_path / "base.json"
+        b.write_text(json.dumps(_service_payload()))
+        assert cb.main([str(b), str(b), "--min-metric",
+                        "duplicate_burst:dedupe_fraction:0.9"]) == 0
+        assert "metric floor gates:" in capsys.readouterr().out
+        assert cb.main([str(b), str(b), "--min-metric",
+                        "duplicate_burst:dedupe_fraction:0.999"]) == 1
+        assert "below required" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            cb.main([str(b), str(b), "--min-metric", "a:b"])
+        with pytest.raises(SystemExit):
+            cb.main([str(b), str(b), "--min-metric", "a:b:xyz"])

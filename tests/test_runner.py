@@ -102,6 +102,54 @@ class TestFailureCapture:
         assert serial == {s: out[s].result.cycles for s in survivors}
 
 
+class TestAlarmOffMainThread:
+    def test_timeout_spec_runs_in_worker_thread(self):
+        """Regression: `_alarm` used to call `signal.signal` from
+        whatever thread executed the spec, which raises ValueError
+        anywhere but the main thread -- every timed job submitted
+        through a thread pool (the service's executor) died on arrival.
+        Now it degrades to a no-op with a one-time warning."""
+        import threading
+        import warnings
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.harness import runner as runner_mod
+        from repro.harness.runner import _execute_spec
+
+        old_flag = runner_mod._ALARM_THREAD_WARNED
+        runner_mod._ALARM_THREAD_WARNED = False
+        try:
+            caught = []
+
+            def _run():
+                assert threading.current_thread() is not \
+                    threading.main_thread()
+                with warnings.catch_warnings(record=True) as w:
+                    warnings.simplefilter("always")
+                    payloads = [_execute_spec(_SPECS[0], 30.0, 50_000_000),
+                                _execute_spec(_SPECS[0], 30.0, 50_000_000)]
+                caught.extend(w)
+                return payloads
+
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                payloads = pool.submit(_run).result(timeout=300)
+            for p in payloads:
+                assert p.get("error") is None, p["error"]
+                assert p["result"].cycles > 0
+            relevant = [w for w in caught
+                        if issubclass(w.category, RuntimeWarning)
+                        and "main" in str(w.message)]
+            assert len(relevant) == 1     # warned once, not per run
+        finally:
+            runner_mod._ALARM_THREAD_WARNED = old_flag
+
+    def test_timeout_still_enforced_on_main_thread(self):
+        from repro.harness.runner import _execute_spec
+        p = _execute_spec(RunSpec("mxm", "base", 1), 0.001, 50_000_000)
+        assert p["error"] is not None
+        assert p["error"]["type"] == "RunTimeout"
+
+
 class TestDriverIntegration:
     def test_driver_consumes_run_map(self):
         out = ExperimentRunner(jobs=1).run(E.fig3_matrix(("mpenc",)))

@@ -210,6 +210,29 @@ class TestLedger:
         assert mp["queue_wait_p50_s"] is not None
         assert mp["queue_wait_p95_s"] >= mp["queue_wait_p50_s"]
 
+    def test_skewed_queue_waits_clamped_and_flagged(self, tmp_path):
+        """Cross-process clock skew can stamp t_start before t_submit,
+        yielding a negative queue wait.  The reader must clamp to 0 (a
+        wait cannot be negative) and say how many records it touched
+        rather than silently producing nonsense percentiles."""
+        r = ExperimentRunner(jobs=1, telemetry=tmp_path / "tele")
+        r.run([_SPECS[0]])
+        base = read_jsonl(tmp_path / "tele" / "ledger.jsonl")[0]
+        skewed = dict(base, queue_wait_s=-0.75)
+        honest = dict(base, queue_wait_s=0.25)
+        recs = [skewed, honest, dict(base, queue_wait_s=-0.01)]
+        assert all(validate_run_record(rec) == [] for rec in recs)
+        m = TelemetryReader(recs).fleet_metrics()
+        assert m["queue_wait_clamped"] == 2
+        assert m["queue_wait_p50_s"] >= 0.0
+        assert m["queue_wait_p95_s"] >= m["queue_wait_p50_s"]
+        report = TelemetryReader(recs).report()
+        assert "clamped" in report
+        # an unskewed ledger reports no clamping (and no flag line)
+        clean = TelemetryReader([honest])
+        assert clean.fleet_metrics()["queue_wait_clamped"] == 0
+        assert "clamped" not in clean.report()
+
     def test_telemetry_off_is_bit_identical(self, tmp_path):
         bare = ExperimentRunner(jobs=1).run(_SPECS)
         instrumented = ExperimentRunner(
