@@ -20,7 +20,12 @@ engine against its reference).  ``--min-metric KEY:METRIC:MIN``
 requires an absolute floor on any candidate metric, baseline-free
 (e.g. ``--min-metric duplicate_burst:dedupe_fraction:0.9`` gates the
 service bench's dedupe collapse); the same gates also serve
-``BENCH_service_throughput.json`` in the service-smoke job.  Speedups and small
+``BENCH_service_throughput.json`` in the service-smoke job and
+``BENCH_compiler_tradeoff.json`` in the compiler-tradeoff job (there
+the gated ``speedup_vs_auto`` values are deterministic simulated-cycle
+ratios, so exact floors like
+``--min-metric strategy_unroll_jam:speedup_vs_auto:0.99`` hold on any
+host).  Speedups and small
 regressions just print.  Absolute numbers differ across hosts, so this
 is only meaningful when both files come from the same machine (as in
 one CI job) -- it is a smoke gate against order-of-magnitude slowdowns,
@@ -37,7 +42,10 @@ from typing import List, Optional, Tuple
 
 #: (result key, metric) pairs gated by --max-regression; keys absent
 #: from both files are skipped, so the same gate list serves every
-#: BENCH_*.json family (simulator speed and service throughput)
+#: BENCH_*.json family (simulator speed, service throughput and the
+#: compiler-tradeoff sweep).  The strategy rows are simulated-cycle
+#: ratios -- deterministic, host-independent -- so any movement at all
+#: means the compiler's emitted code changed shape
 _GATED: Tuple[Tuple[str, str], ...] = (
     ("end_to_end", "cycles_per_s"),
     ("timing_replay", "cycles_per_s"),
@@ -46,6 +54,9 @@ _GATED: Tuple[Tuple[str, str], ...] = (
     ("trace_generation_fast", "ops_per_s"),
     ("duplicate_burst", "jobs_per_s"),
     ("mixed_load", "jobs_per_s"),
+    ("strategy_padding", "speedup_vs_auto"),
+    ("strategy_peeling", "speedup_vs_auto"),
+    ("strategy_unroll_jam", "speedup_vs_auto"),
 )
 
 

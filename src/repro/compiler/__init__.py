@@ -11,12 +11,16 @@ from .codegen import (CodeGen, CompileOptions, RegisterPressureError,
 from .ir import (Affine, Array, Assign, Bin, Cmp, Const, Expr, Kernel,
                  LoadExpr, Loop, Reduce, Ref, Select, Sqrt, Var, fmax, fmin,
                  sqrt)
-from .vectorizer import (VectorizationError, body_vectorizable,
-                         choose_vector_loop)
+from .strategies import (STRATEGY_NAMES, PadPlan, VectStrategy, plan_padding,
+                         subst_stmt, unroll_and_jam)
+from .vectorizer import (ALIGN_LANES, POLICY_NAMES, VectorizationError,
+                         VectPolicy, body_vectorizable, choose_vector_loop)
 
 __all__ = [
     "CodeGen", "CompileOptions", "RegisterPressureError", "compile_kernel",
     "Affine", "Array", "Assign", "Bin", "Cmp", "Const", "Expr", "Kernel",
     "LoadExpr", "Loop", "Reduce", "Ref", "Select", "Sqrt", "Var", "fmax", "fmin",
     "sqrt", "VectorizationError", "body_vectorizable", "choose_vector_loop",
+    "VectStrategy", "VectPolicy", "STRATEGY_NAMES", "POLICY_NAMES",
+    "ALIGN_LANES", "PadPlan", "plan_padding", "unroll_and_jam", "subst_stmt",
 ]

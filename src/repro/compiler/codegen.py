@@ -22,12 +22,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
 from ..isa.builder import ProgramBuilder
 from ..isa.program import Program
-from ..isa.registers import Reg, freg, sreg, vreg
+from ..isa.registers import MVL, Reg, freg, sreg, vreg
 from .ir import (Affine, Assign, Bin, Const, Expr, Kernel, LoadExpr,
                  Loop, Reduce, Ref, Select, Sqrt, Stmt, Var)
-from .vectorizer import VectorizationError, body_vectorizable, choose_vector_loop
+from .strategies import PadPlan, VectStrategy, plan_padding, unroll_and_jam
+from .vectorizer import (VectorizationError, VectPolicy, body_vectorizable,
+                         choose_vector_loop)
 
 S0 = sreg(0)
 
@@ -92,10 +96,22 @@ class CompileOptions:
     #: correct no-op), so any array length remains correct.
     unroll: int = 1
     memory_kib: int = 1024
+    #: Vectorization strategy: how vector loops handle trip counts that
+    #: are not MVL multiples (see :mod:`repro.compiler.strategies`).
+    #: "auto" | "padding" | "peeling" | "unroll_jam", or the
+    #: :class:`VectStrategy` member; unknown names raise
+    #: :class:`VectorizationError` here.
+    strategy: Union[str, VectStrategy] = VectStrategy.AUTO
+    #: Outer-loop unroll factor for the ``unroll_jam`` strategy.
+    jam_factor: int = 2
 
     def __post_init__(self):
         if self.unroll < 1:
             raise ValueError("unroll factor must be >= 1")
+        self.strategy = VectStrategy.parse(self.strategy)
+        self.policy = VectPolicy.parse(self.policy).value
+        if self.jam_factor < 2:
+            raise ValueError("jam factor must be >= 2")
 
 
 class CodeGen:
@@ -117,27 +133,42 @@ class CodeGen:
         self.vector_loops: Set[int] = set()
         #: vector stores issued since the last fence/barrier
         self._pending_vstores = False
+        #: strategy planning results, for reports and tests
+        self.pad_plan = PadPlan()
+        self.jam_fallbacks: Dict[str, str] = {}
 
     # -- entry point -----------------------------------------------------------
 
     def compile(self) -> Program:
         b = self.b
+        # Plan before emitting anything: strategies may rewrite the nest
+        # (unroll-and-jam) and grow array allocations (padding slack).
+        if self.opts.vectorize:
+            chosen = choose_vector_loop(self.kernel, self.opts.policy)
+            if self.opts.strategy is VectStrategy.UNROLL_JAM:
+                chosen, self.jam_fallbacks = unroll_and_jam(
+                    self.kernel, chosen, self.opts.jam_factor)
+            if self.opts.strategy in (VectStrategy.PADDING,
+                                      VectStrategy.UNROLL_JAM):
+                self.pad_plan = plan_padding(chosen)
+            self.vector_loops = {id(l) for l in chosen}
+
         if self.opts.threads:
             b.op("vltcfg", 0)
             b.op("tid", self.tid_reg)
             b.op("ntid", self.ntid_reg)
         for arr in self.kernel.arrays():
+            slack = self.pad_plan.slack.get(arr.name, 0)
             if arr.init is not None:
-                b.data_f64(arr.name, arr.init.reshape(-1))
+                init = arr.init.reshape(-1)
+                if slack:
+                    init = np.concatenate([init, np.zeros(slack)])
+                b.data_f64(arr.name, init)
             else:
-                b.data_f64(arr.name, arr.size)
+                b.data_f64(arr.name, arr.size + slack)
             base = self.spool.alloc()
             self.base_regs[arr.name] = base
             b.la(base, arr.name)
-
-        if self.opts.vectorize:
-            chosen = choose_vector_loop(self.kernel, self.opts.policy)
-            self.vector_loops = {id(l) for l in chosen}
 
         if self.opts.threads:
             self._gen_threaded_block(self.kernel.body)
@@ -299,7 +330,7 @@ class CodeGen:
     def _gen_stmt(self, stmt: Stmt) -> None:
         if isinstance(stmt, Loop):
             if id(stmt) in self.vector_loops:
-                self._gen_vector_loop(stmt)
+                self._gen_vector_dispatch(stmt)
             else:
                 self._gen_scalar_loop(stmt)
         elif isinstance(stmt, Assign):
@@ -370,19 +401,120 @@ class CodeGen:
                 self._gen_stmt(s)
         b.op("addi", var_reg, var_reg, 1)
         b.op("blt", var_reg, bound, head)
-        b.label(exit_)
 
+        # The zero-trip guard above jumps past these stores: an empty
+        # loop (dynamically possible for peeled epilogues and threaded
+        # chunks) must leave the reduction targets untouched rather than
+        # store accumulators whose loads were also skipped.
         for acc, red in hoisted.values():
             a = self._addr(red.ref)
             b.op("fst", acc, (0, a))
             self.spool.free(a)
             self.fpool.free(acc)
+        b.label(exit_)
         if own_bound:
             self.spool.free(bound)
         self.spool.free(var_reg)
         del self.var_regs[loop.var]
 
     # -- vector loops -------------------------------------------------------------------
+
+    def _padded_extent(self, loop: Loop) -> Union[int, Affine]:
+        """The loop's iteration-domain extent after padding (if planned)."""
+        return self.pad_plan.extents.get(id(loop), loop.extent)
+
+    def _gen_vector_dispatch(self, loop: Loop, start: Optional[Reg] = None,
+                             count: Optional[Reg] = None) -> None:
+        """Lower a chosen vector loop under the active strategy.
+
+        AUTO (and any strategy's fallback) is the plain strip-mined
+        shape of :meth:`_gen_vector_loop`; PADDING swaps in the planned
+        rounded-up trip count (slack was already added to the affected
+        allocations); PEELING splits the trip count into full-MVL vector
+        strips plus a scalar epilogue.  UNROLL_JAM already rewrote the
+        nest at planning time and pads its tails where legal, so it
+        lands in the padding branch here.
+        """
+        if self.opts.strategy is VectStrategy.PEELING:
+            self._gen_peeled_loop(loop, start=start, count=count)
+            return
+        padded = self.pad_plan.extents.get(id(loop))
+        if padded is not None and start is None and count is None:
+            c = self._eval_affine(padded)
+            self._gen_vector_loop(loop, count=c)
+            self.spool.free(c)
+            return
+        self._gen_vector_loop(loop, start=start, count=count)
+
+    def _gen_peeled_loop(self, loop: Loop, start: Optional[Reg] = None,
+                         count: Optional[Reg] = None) -> None:
+        """PEELING: full-MVL vector strips + a scalar remainder epilogue.
+
+        With a static trip count the split is resolved at compile time:
+        an exact multiple of MVL degenerates to the AUTO shape, a loop
+        shorter than MVL becomes entirely scalar, and anything else gets
+        a vector main loop over ``extent - extent % MVL`` elements
+        followed by an unconditional scalar epilogue.  A dynamic trip
+        count (affine extents, per-thread chunks) is split at run time
+        with a ``div``/``muli`` pair, and the scalar epilogue is guarded
+        by a skip branch: :meth:`_gen_scalar_loop` hoists invariant
+        reduction accumulators into registers whose loads sit behind its
+        own zero-trip guard, so entering a dynamically-empty epilogue
+        would store uninitialised registers.
+        """
+        b = self.b
+        static_extent = (loop.extent if isinstance(loop.extent, int)
+                         else None)
+        if start is None and count is None and static_extent is not None:
+            tail = static_extent % MVL
+            if tail == 0:
+                self._gen_vector_loop(loop)
+                return
+            if static_extent < MVL:
+                self._gen_scalar_loop(loop)
+                return
+            main = self.spool.alloc()
+            b.op("li", main, static_extent - tail)
+            self._gen_vector_loop(loop, count=main)
+            # `main` still holds the split point: reuse it as the
+            # epilogue's start register.
+            bound = self.spool.alloc()
+            b.op("li", bound, static_extent)
+            self._gen_scalar_loop(loop, start=main, bound=bound)
+            self.spool.free(bound)
+            self.spool.free(main)
+            return
+
+        own_count = count is None
+        if own_count:
+            count = self._eval_affine(loop.extent)
+        mvl = self.spool.alloc()
+        b.op("li", mvl, MVL)
+        main = self.spool.alloc()
+        b.op("div", main, count, mvl)
+        b.op("muli", main, main, MVL)
+        self.spool.free(mvl)
+        self._gen_vector_loop(loop, start=start, count=main)
+        # Epilogue bounds: [start + main, start + count).  `main` is
+        # reused as the lower bound register.
+        bound = self.spool.alloc()
+        if start is not None:
+            b.op("add", main, main, start)
+            b.op("add", bound, count, start)
+        else:
+            b.mv(bound, count)
+        if own_count:
+            self.spool.free(count)
+        # Fence *before* the skip guard: the epilogue may be skipped at
+        # run time, but scalar code after this loop still needs to be
+        # ordered behind the vector stores above.
+        self._fence_if_needed()
+        skip = b.genlabel("peelskip")
+        b.op("bge", main, bound, skip)
+        self._gen_scalar_loop(loop, start=main, bound=bound)
+        b.label(skip)
+        self.spool.free(bound)
+        self.spool.free(main)
 
     def _gen_vector_loop(self, loop: Loop, start: Optional[Reg] = None,
                          count: Optional[Reg] = None) -> None:
@@ -680,9 +812,17 @@ class CodeGen:
     # -- threading --------------------------------------------------------------------
 
     def _gen_threaded_loop(self, loop: Loop) -> None:
-        """Static chunking of a parallel loop across SPMD threads."""
+        """Static chunking of a parallel loop across SPMD threads.
+
+        A padded vector loop is chunked over its *padded* domain -- the
+        slack past the logical extent is dead zero-filled storage, so
+        whichever thread draws the tail chunk can safely run vector
+        strips into it.
+        """
         b = self.b
-        ereg = self._eval_affine(loop.extent)
+        ereg = self._eval_affine(self._padded_extent(loop)
+                                 if id(loop) in self.vector_loops
+                                 else loop.extent)
         chunk = self.spool.alloc()
         b.op("addi", chunk, ereg, 0)
         t = self.spool.alloc()
@@ -701,7 +841,7 @@ class CodeGen:
         if id(loop) in self.vector_loops:
             count = self.spool.alloc()
             b.op("sub", count, hi, lo)
-            self._gen_vector_loop(loop, start=lo, count=count)
+            self._gen_vector_dispatch(loop, start=lo, count=count)
             self.spool.free(count)
         else:
             self._gen_scalar_loop(loop, start=lo, bound=hi)

@@ -1,0 +1,336 @@
+"""Selectable vectorization strategies (COFFEE-style).
+
+The production vectorizers the paper relied on expose *strategies*, not
+just a single strip-mining recipe -- the COFFEE compiler models them as
+an explicit ``VectStrategy`` knob (auto / padding / peeling /
+unroll-and-jam).  This module brings that knob to the mini-compiler so
+the reproduction can sweep the vector-length profile the timing study
+depends on (PAPER.md Table 4: short-VL code is where VLT's idle lanes
+pay off).
+
+* ``AUTO`` -- the historical behaviour: strip-mine with ``setvl``
+  clamping the tail strip (partial final strip, no extra code).
+* ``PADDING`` -- round eligible trip counts up to the next MVL multiple
+  and give every overrun array zero-filled *slack* at the end of its
+  allocation, so every strip runs at full MVL and the masked/clamped
+  tail disappears.  Padded lanes read and write only slack, which no
+  live code ever touches, so results are unchanged.
+* ``PEELING`` -- run only full-MVL strips in vector code and peel the
+  remainder iterations into a scalar epilogue (loops statically shorter
+  than MVL become entirely scalar).
+* ``UNROLL_JAM`` -- unroll an eligible outer loop and jam the copies
+  into the inner vector loop's body, amortising per-strip overhead and
+  load/store round-trips; tails of the jammed loops are padded where
+  legal (else left to ``setvl`` clamping).
+
+Every strategy is *sound by construction or by fallback*: a loop that
+fails a strategy's legality analysis silently falls back to the AUTO
+shape, and the reasons are recorded so reports and tests can see what
+actually happened.  All four strategies' emitted programs pass the
+``repro.verify`` linter and the functional/timing differential checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..isa.registers import MVL
+from .ir import (Affine, Assign, Bin, Cmp, Const, Expr, Kernel, LoadExpr,
+                 Loop, Reduce, Ref, Select, Sqrt, Stmt, Var)
+from .vectorizer import VectorizationError
+
+
+class VectStrategy(Enum):
+    """How vector loops handle trip counts that are not MVL multiples."""
+
+    AUTO = "auto"
+    PADDING = "padding"
+    PEELING = "peeling"
+    UNROLL_JAM = "unroll_jam"
+
+    @classmethod
+    def parse(cls, value: Union[str, "VectStrategy"]) -> "VectStrategy":
+        """Validate a strategy name; raises :class:`VectorizationError`."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise VectorizationError(
+                f"unknown vectorization strategy {value!r}; known: "
+                f"{', '.join(s.value for s in cls)}") from None
+
+
+#: every strategy name, in catalogue order (CLI sweeps, tests)
+STRATEGY_NAMES: Tuple[str, ...] = tuple(s.value for s in VectStrategy)
+
+
+# --------------------------------------------------------------------------
+# Affine substitution: clone IR trees replacing one induction variable
+# --------------------------------------------------------------------------
+
+def subst_affine(aff: Union[int, Affine], var: Var,
+                 repl: Affine) -> Union[int, Affine]:
+    """``aff`` with every occurrence of ``var`` replaced by ``repl``."""
+    if isinstance(aff, int):
+        return aff
+    c = aff.coef(var)
+    if c == 0:
+        return Affine(dict(aff.coefs), aff.const)
+    rest = Affine({v: k for v, k in aff.coefs.items() if v is not var},
+                  aff.const)
+    out = rest + repl * c
+    return out.const if out.is_const else out
+
+
+def _subst_ref(ref: Ref, var: Var, repl: Affine) -> Ref:
+    return Ref(ref.array, tuple(Affine.of(subst_affine(a, var, repl))
+                                for a in ref.idx))
+
+
+def subst_expr(e: Expr, var: Var, repl: Affine) -> Expr:
+    """Deep-copied expression with ``var`` replaced by ``repl``."""
+    if isinstance(e, Const):
+        return e
+    if isinstance(e, LoadExpr):
+        return LoadExpr(_subst_ref(e.ref, var, repl))
+    if isinstance(e, Bin):
+        return Bin(e.op, subst_expr(e.a, var, repl),
+                   subst_expr(e.b, var, repl))
+    if isinstance(e, Sqrt):
+        return Sqrt(subst_expr(e.a, var, repl))
+    if isinstance(e, Select):
+        return Select(Cmp(e.cond.op, subst_expr(e.cond.a, var, repl),
+                          subst_expr(e.cond.b, var, repl)),
+                      subst_expr(e.a, var, repl),
+                      subst_expr(e.b, var, repl))
+    raise VectorizationError(f"unsupported expression node {e!r}")
+
+
+def subst_stmt(s: Stmt, var: Var, repl: Affine) -> Stmt:
+    """Deep-copied statement with ``var`` replaced by ``repl``."""
+    if isinstance(s, Assign):
+        return Assign(_subst_ref(s.ref, var, repl),
+                      subst_expr(s.expr, var, repl))
+    if isinstance(s, Reduce):
+        return Reduce(s.op, _subst_ref(s.ref, var, repl),
+                      subst_expr(s.expr, var, repl))
+    if isinstance(s, Loop):
+        return Loop(s.var, subst_affine(s.extent, var, repl),
+                    [subst_stmt(x, var, repl) for x in s.body],
+                    parallel=s.parallel)
+    raise TypeError(f"unknown statement {s!r}")
+
+
+def _walk_refs(stmts: Sequence[Stmt]):
+    """Yield every (ref, is_target) in a statement list, recursively."""
+
+    def exprs(e: Expr):
+        if isinstance(e, LoadExpr):
+            yield e.ref
+        elif isinstance(e, Bin):
+            yield from exprs(e.a)
+            yield from exprs(e.b)
+        elif isinstance(e, Sqrt):
+            yield from exprs(e.a)
+        elif isinstance(e, Select):
+            for sub in (e.a, e.b, e.cond.a, e.cond.b):
+                yield from exprs(sub)
+
+    for s in stmts:
+        if isinstance(s, Loop):
+            yield from _walk_refs(s.body)
+        else:
+            yield s.ref, True
+            for r in exprs(s.expr):
+                yield r, False
+
+
+# --------------------------------------------------------------------------
+# PADDING: trip-count rounding + array slack, gated by a legality analysis
+# --------------------------------------------------------------------------
+
+@dataclass
+class PadPlan:
+    """What the padding strategy decided for one kernel.
+
+    ``extents`` maps ``id(loop)`` of each padded vector loop to its
+    rounded-up trip count; ``slack`` maps array names to the number of
+    extra zero-filled elements the code generator must append to their
+    allocations so padded lanes stay in bounds.  ``fallbacks`` records,
+    per loop variable, why a chosen vector loop could *not* be padded
+    (reports and tests read it; codegen just emits the AUTO shape).
+    """
+
+    extents: Dict[int, int] = field(default_factory=dict)
+    slack: Dict[str, int] = field(default_factory=dict)
+    fallbacks: Dict[str, str] = field(default_factory=dict)
+
+
+def _pad_reason(loop: Loop) -> Optional[str]:
+    """None if ``loop`` can be padded, else why not.
+
+    The sufficient condition for soundness: the trip count is static,
+    and every reference that varies with the loop variable varies with
+    *only* the loop variable (a constant element offset is fine).  Then
+    the padded iterations access a contiguous overrun region past the
+    array's logical end -- the same region for every execution of the
+    loop -- which the planner covers with dead zero-filled slack.  A
+    reference also indexed by an outer variable would overrun into the
+    *next row's live data* (think ``T[i, j]`` with ``j`` padded past the
+    row width), so those loops fall back.  True reductions fall back
+    too: padded lanes would fold slack values into the scalar result,
+    which is only correct when the slack happens to be the reduction
+    identity.
+    """
+    if not isinstance(loop.extent, int):
+        return "dynamic trip count"
+    for s in loop.body:
+        if (isinstance(s, Reduce)
+                and s.ref.flat_affine().coef(loop.var) == 0):
+            return (f"true reduction into {s.ref.array.name} (padded "
+                    f"lanes would fold slack into the result)")
+    for ref, _is_target in _walk_refs(loop.body):
+        flat = ref.flat_affine()
+        c = flat.coef(loop.var)
+        if c == 0:
+            continue  # loop-invariant operand: padded lanes re-read it
+        if c < 0:
+            return (f"{ref.array.name} has negative stride {c} "
+                    f"(padding would underrun the allocation)")
+        for v in flat.coefs:
+            if v is not loop.var:
+                return (f"{ref.array.name} is also indexed by outer "
+                        f"variable {v.name} (overrun would hit live "
+                        f"rows)")
+    return None
+
+
+def plan_padding(chosen: Sequence[Loop]) -> PadPlan:
+    """Decide padded extents and array slack for the chosen vector loops.
+
+    Loops whose static extent is already an MVL multiple need nothing
+    (and are not counted as fallbacks); ineligible loops land in
+    ``fallbacks`` with their reason and keep the AUTO shape.
+    """
+    plan = PadPlan()
+    for loop in chosen:
+        reason = _pad_reason(loop)
+        if reason is not None:
+            plan.fallbacks[loop.var.name] = reason
+            continue
+        extent = loop.extent
+        padded = -(-extent // MVL) * MVL
+        if padded == extent:
+            continue  # already full strips: padding is the identity
+        plan.extents[id(loop)] = padded
+        for ref, _ in _walk_refs(loop.body):
+            flat = ref.flat_affine()
+            c = flat.coef(loop.var)
+            if c <= 0:
+                continue
+            overrun = flat.const + (padded - 1) * c + 1 - ref.array.size
+            if overrun > 0:
+                name = ref.array.name
+                plan.slack[name] = max(plan.slack.get(name, 0), overrun)
+    return plan
+
+
+# --------------------------------------------------------------------------
+# UNROLL_JAM: outer-loop unroll-and-jam over perfect nests
+# --------------------------------------------------------------------------
+
+def _jam_reason(parent: Loop, child: Loop, factor: int) -> Optional[str]:
+    """None if ``parent`` can be unroll-and-jammed into ``child``."""
+    if parent.body != [child]:
+        return "not a perfect nest"
+    if not isinstance(parent.extent, int):
+        return "dynamic outer trip count"
+    if parent.extent < factor:
+        return f"outer trip count {parent.extent} < jam factor {factor}"
+    if (not isinstance(child.extent, int)
+            and Affine.of(child.extent).coef(parent.var) != 0):
+        return "inner trip count depends on the outer variable"
+    if parent.parallel:
+        return None  # independent iterations: any interleaving is legal
+    # Serial outer loop: jamming interleaves iteration groups, which is
+    # still legal when the only loop-carried dependence is elementwise
+    # accumulation -- every statement a Reduce whose target ignores the
+    # outer variable, and no target array read anywhere else in the body
+    # (the jam preserves each element's accumulation order).
+    targets = set()
+    for s in child.body:
+        if not isinstance(s, Reduce):
+            return ("serial outer loop with a non-reduction body "
+                    "(loop-carried dependences unknown)")
+        if s.ref.flat_affine().coef(parent.var) != 0:
+            return (f"serial outer loop writes {s.ref.array.name} at "
+                    f"outer-dependent offsets")
+        targets.add(s.ref.array.name)
+    for ref, is_target in _walk_refs(child.body):
+        if not is_target and ref.array.name in targets:
+            return (f"reduction target {ref.array.name} is also read "
+                    f"as an operand")
+    return None
+
+
+def unroll_and_jam(kernel: Kernel, chosen: List[Loop], factor: int = 2
+                   ) -> Tuple[List[Loop], Dict[str, str]]:
+    """Unroll-and-jam eligible parents of the chosen vector loops.
+
+    For each chosen vector loop whose parent is an eligible perfect
+    nest, the parent is rewritten in place to iterate ``extent //
+    factor`` times with ``factor`` jammed copies of the vector body
+    (outer variable ``o`` substituted by ``factor*o + u``), and a
+    remainder nest covering ``extent % factor`` iterations is inserted
+    right after it.  Returns the updated chosen-loop list (remainder
+    copies included) and a ``{outer var: reason}`` map of nests that
+    fell back.
+    """
+    chosen_ids = {id(l) for l in chosen}
+    new_chosen = list(chosen)
+    fallbacks: Dict[str, str] = {}
+
+    def visit(stmts: List[Stmt], parent: Optional[Loop]) -> None:
+        i = 0
+        while i < len(stmts):
+            s = stmts[i]
+            i += 1
+            if not isinstance(s, Loop):
+                continue
+            inner = [x for x in s.body if isinstance(x, Loop)]
+            if not inner:
+                continue
+            child = inner[0]
+            if (len(inner) == 1 and id(child) in chosen_ids):
+                reason = _jam_reason(s, child, factor)
+                if reason is not None:
+                    fallbacks[s.var.name] = reason
+                    visit(s.body, s)
+                    continue
+                extent = s.extent
+                groups, rem = divmod(extent, factor)
+                original = list(child.body)
+                child.body[:] = [
+                    subst_stmt(b, s.var, Affine({s.var: factor}, u))
+                    for u in range(factor) for b in original]
+                s.extent = groups
+                if rem:
+                    rv = Var(s.var.name + "_r")
+                    rem_child = Loop(
+                        child.var, child.extent,
+                        [subst_stmt(b, s.var,
+                                    Affine({rv: 1}, groups * factor))
+                         for b in original],
+                        parallel=child.parallel)
+                    stmts.insert(i, Loop(rv, rem, [rem_child],
+                                         parallel=s.parallel))
+                    i += 1
+                    new_chosen.append(rem_child)
+                continue
+            visit(s.body, s)
+
+    visit(kernel.body, None)
+    return new_chosen, fallbacks

@@ -15,19 +15,60 @@ policies over perfectly-nested loop pairs (via interchange):
 * ``"unitstride"`` -- prefer the loop with the most unit-stride
   references; tie-break on extent.
 * ``"innermost"``  -- no interchange; vectorize the innermost loop if legal.
+
+Policies are named by the :class:`VectPolicy` enum; the string spellings
+above remain accepted everywhere and are validated through
+``VectPolicy.parse``, which raises :class:`VectorizationError` on an
+unknown name (an unknown string used to fall through ``ValueError``-ish
+paths silently in old drafts -- now it cannot).
+
+Stride comparison is **alignment-aware**: among loops tied on the
+unit-stride reference count, the policy prefers the loop whose streams
+provably start on a lane-group boundary (``ALIGN_LANES`` = the base
+machine's 8 lanes), because an aligned unit-stride stream maps each
+strip onto whole lane groups with no partial first beat.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from enum import Enum
+from typing import List, Optional, Tuple, Union
 
 from ..isa.registers import MVL
 from .ir import (Assign, Bin, Expr, Kernel, LoadExpr, Loop, Reduce, Select,
                  Sqrt, Stmt, Var)
 
+#: lane-group modulus for the alignment component of the stride score
+#: (the base machine of the study has 8 lanes).
+ALIGN_LANES = 8
+
 
 class VectorizationError(Exception):
     """The requested loop cannot be vectorized (with the reason)."""
+
+
+class VectPolicy(Enum):
+    """Which loop of a nest to vectorize (the VL-vs-stride trade-off)."""
+
+    MAXVL = "maxvl"
+    UNITSTRIDE = "unitstride"
+    INNERMOST = "innermost"
+
+    @classmethod
+    def parse(cls, value: Union[str, "VectPolicy"]) -> "VectPolicy":
+        """Validate a policy name; raises :class:`VectorizationError`."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value))
+        except ValueError:
+            raise VectorizationError(
+                f"unknown vectorization policy {value!r}; known: "
+                f"{', '.join(p.value for p in cls)}") from None
+
+
+#: every policy name, in catalogue order
+POLICY_NAMES: Tuple[str, ...] = tuple(p.value for p in VectPolicy)
 
 
 def _expr_supported(e: Expr) -> bool:
@@ -75,16 +116,41 @@ def _static_extent(loop: Loop) -> Optional[int]:
     return loop.extent if isinstance(loop.extent, int) else None
 
 
-def _stride_score(loop: Loop) -> Tuple[int, int]:
-    """(#unit-stride refs, -sum of |stride|) over the body's references."""
+def _ref_aligned(ref, var: Var) -> bool:
+    """Does this unit-stride stream provably start lane-group aligned?
+
+    True when the element offset contributed by everything *except*
+    ``var`` is a multiple of :data:`ALIGN_LANES` for every outer
+    iteration -- i.e. the constant part and every other variable's
+    coefficient are multiples of the lane-group size.
+    """
+    flat = ref.flat_affine()
+    if abs(flat.coef(var)) != 1:
+        return False
+    if flat.const % ALIGN_LANES != 0:
+        return False
+    return all(c % ALIGN_LANES == 0
+               for v, c in flat.coefs.items() if v is not var)
+
+
+def _stride_score(loop: Loop) -> Tuple[int, int, int]:
+    """(#unit-stride refs, #lane-aligned refs, -sum of |stride|).
+
+    Lexicographic: more unit-stride streams wins, then more streams
+    that provably start on a lane-group boundary, then lower total
+    stride magnitude.
+    """
     unit = 0
+    aligned = 0
     total = 0
 
     def visit_ref(ref) -> None:
-        nonlocal unit, total
+        nonlocal unit, aligned, total
         s = ref.stride_wrt(loop.var)
         if abs(s) == 1:
             unit += 1
+            if _ref_aligned(ref, loop.var):
+                aligned += 1
         total += abs(s)
 
     def walk(e: Expr) -> None:
@@ -99,7 +165,7 @@ def _stride_score(loop: Loop) -> Tuple[int, int]:
     for s in loop.body:
         visit_ref(s.ref)
         walk(s.expr)
-    return unit, -total
+    return unit, aligned, -total
 
 
 def _interchange(parent: Loop, child: Loop) -> None:
@@ -121,16 +187,18 @@ def _can_interchange(parent: Loop, child: Loop) -> bool:
     return True
 
 
-def choose_vector_loop(kernel: Kernel, policy: str = "maxvl") -> List[Loop]:
+def choose_vector_loop(kernel: Kernel,
+                       policy: Union[str, VectPolicy] = VectPolicy.MAXVL
+                       ) -> List[Loop]:
     """Annotate the kernel for vectorization; returns the chosen loops.
 
     Walks every loop nest, optionally interchanging perfectly-nested
-    parallel pairs according to ``policy``, and returns the list of
-    innermost loops that will be vectorized (the code generator
-    re-checks legality with :func:`body_vectorizable`).
+    parallel pairs according to ``policy`` (a :class:`VectPolicy` or its
+    string name; unknown names raise :class:`VectorizationError`), and
+    returns the list of innermost loops that will be vectorized (the
+    code generator re-checks legality with :func:`body_vectorizable`).
     """
-    if policy not in ("maxvl", "unitstride", "innermost"):
-        raise ValueError(f"unknown vectorization policy {policy!r}")
+    policy = VectPolicy.parse(policy)
     chosen: List[Loop] = []
 
     def visit(loop: Loop, parent: Optional[Loop]) -> None:
@@ -141,12 +209,12 @@ def choose_vector_loop(kernel: Kernel, policy: str = "maxvl") -> List[Loop]:
             return
         if body_vectorizable(loop) is not None:
             return
-        if (policy != "innermost" and parent is not None
+        if (policy is not VectPolicy.INNERMOST and parent is not None
                 and _can_interchange(parent, loop)
                 and body_vectorizable_after_swap(parent, loop)):
             pe, ce = _static_extent(parent), _static_extent(loop)
             if pe is not None and ce is not None:
-                if policy == "maxvl":
+                if policy is VectPolicy.MAXVL:
                     want_swap = min(MVL, pe) > min(MVL, ce) or (
                         min(MVL, pe) == min(MVL, ce)
                         and _parent_stride_better(parent, loop))
@@ -159,9 +227,8 @@ def choose_vector_loop(kernel: Kernel, policy: str = "maxvl") -> List[Loop]:
 
     def _parent_stride_better(parent: Loop, loop: Loop) -> bool:
         # Compare stride scores *as if* each were the vector loop.
-        pu, pt = _stride_score_for_var(loop, parent.var)
-        cu, ct = _stride_score_for_var(loop, loop.var)
-        return (pu, pt) > (cu, ct)
+        return (_stride_score_for_var(loop, parent.var)
+                > _stride_score_for_var(loop, loop.var))
 
     def _stride_tie(parent: Loop, loop: Loop) -> bool:
         return (_stride_score_for_var(loop, parent.var)
@@ -173,7 +240,7 @@ def choose_vector_loop(kernel: Kernel, policy: str = "maxvl") -> List[Loop]:
     return chosen
 
 
-def _stride_score_for_var(loop: Loop, var: Var) -> Tuple[int, int]:
+def _stride_score_for_var(loop: Loop, var: Var) -> Tuple[int, int, int]:
     """Stride score of ``loop``'s body with respect to ``var``."""
     probe = Loop(var, 1, loop.body, parallel=True)
     return _stride_score(probe)

@@ -9,6 +9,13 @@ Usage::
     vlt-repro all --jobs 4 --cache-dir ~/.vlt-cache # parallel + cached
     vlt-repro fig1 --apps mpenc,trfd --lanes 1,8    # narrower/faster
     vlt-repro run mxm --config base --threads 4     # one run, full stats
+    vlt-repro run trfd --strategy peeling           # pick a vectorization
+                                                    # strategy (compiled
+                                                    # apps)
+    vlt-repro compiler-tradeoff --jobs 4            # every compiled app x
+                                                    # every strategy; report
+                                                    # + BENCH json
+    vlt-repro compiler-tradeoff --apps mxm,trfd --jobs 2   # CI smoke matrix
     vlt-repro trace mxm --out trace.json            # Perfetto trace +
                                                     # stall attribution
     vlt-repro profile mxm --threads 4               # host-side phase
@@ -60,7 +67,7 @@ EXPERIMENT_NAMES = ["table1", "table2", "table3", "table4",
 #: test asserts each one is documented somewhere under docs/ or README
 CLI_VERBS = tuple(EXPERIMENT_NAMES) + (
     "all", "verify", "mix", "run", "trace", "profile", "determinism",
-    "cache", "lint", "diff", "tele", "serve")
+    "cache", "lint", "diff", "tele", "serve", "compiler-tradeoff")
 
 
 def verify_workloads(apps: Optional[List[str]] = None) -> str:
@@ -105,13 +112,14 @@ def instruction_mix(apps: Optional[List[str]] = None,
 
 def run_single(app: str, config: str = "base", threads: int = 1,
                scalar_only: bool = False, engine: str = "event",
-               func_engine: str = "reference") -> str:
+               func_engine: str = "reference",
+               strategy: str = "auto") -> str:
     """Run one workload on one machine configuration; report the stats."""
     from ..timing import simulate
     from ..timing.config import get_config
     from ..workloads import get_workload
     w = get_workload(app)
-    prog = w.program(scalar_only=scalar_only)
+    prog = w.program(scalar_only=scalar_only, strategy=strategy)
     cfg = get_config(config)
     r = simulate(prog, cfg, num_threads=threads, engine=engine,
                  func_engine=func_engine)
@@ -132,7 +140,8 @@ def run_single(app: str, config: str = "base", threads: int = 1,
 def run_trace(app: str, config: str = "base", threads: int = 1,
               scalar_only: bool = False, out: Optional[str] = None,
               max_events: int = 1_000_000, engine: str = "event",
-              func_engine: str = "reference") -> str:
+              func_engine: str = "reference",
+              strategy: str = "auto") -> str:
     """Run one workload fully instrumented; write a Chrome trace-event
     JSON (loads in Perfetto) and return the stall-attribution report."""
     from ..obs import render_stall_report, write_chrome_trace
@@ -140,7 +149,7 @@ def run_trace(app: str, config: str = "base", threads: int = 1,
     from ..timing.config import get_config
     from ..workloads import get_workload
     w = get_workload(app)
-    prog = w.program(scalar_only=scalar_only)
+    prog = w.program(scalar_only=scalar_only, strategy=strategy)
     cfg = get_config(config)
     tr = simulate_traced(prog, cfg, num_threads=threads,
                          max_events=max_events, engine=engine,
@@ -181,7 +190,8 @@ def run_trace(app: str, config: str = "base", threads: int = 1,
 def run_profile(app: str, config: str = "base", threads: int = 1,
                 scalar_only: bool = False,
                 json_path: Optional[str] = None,
-                func_engine: str = "reference") -> str:
+                func_engine: str = "reference",
+                strategy: str = "auto") -> str:
     """Host-side self-profiling: wall time per simulation phase."""
     from ..timing import clear_trace_cache
     from ..timing.run import simulate, trace_for
@@ -189,7 +199,7 @@ def run_profile(app: str, config: str = "base", threads: int = 1,
     from ..obs.hostprof import PhaseProfiler
     from ..workloads import get_workload
     w = get_workload(app)
-    prog = w.program(scalar_only=scalar_only)
+    prog = w.program(scalar_only=scalar_only, strategy=strategy)
     cfg = get_config(config)
     clear_trace_cache()   # so trace_generation is actually measured
     prof = PhaseProfiler()
@@ -272,6 +282,10 @@ def _example_programs():
                 prog, _ = tradeoff.build(policy, threads=threads)
                 yield (f"examples/compiler_tradeoff[{policy}"
                        f"{',threads' if threads else ''}]", prog)
+        from ..compiler import STRATEGY_NAMES
+        for strat in STRATEGY_NAMES:
+            prog, _ = tradeoff.build_strategy(strat)
+            yield f"examples/compiler_tradeoff[{strat}]", prog
         reconf = importlib.import_module("dynamic_reconfiguration")
         for parts in (1, 4):
             yield (f"examples/dynamic_reconfiguration[{parts}]",
@@ -289,9 +303,11 @@ def lint_programs(apps: Optional[List[str]] = None,
 
     With ``paths`` (assembly files), lints exactly those.  Otherwise
     lints every workload program -- both flavours where the workload
-    has two -- plus (with ``examples``) each program the examples/
-    directory builds.
+    has two, plus every vectorization strategy that produces distinct
+    code for compiled workloads -- plus (with ``examples``) each
+    program the examples/ directory builds.
     """
+    from ..compiler import STRATEGY_NAMES
     from ..isa.assembler import assemble
     from ..verify import lint
     from ..workloads import all_workload_names, get_workload
@@ -316,6 +332,15 @@ def lint_programs(apps: Optional[List[str]] = None,
                 seen_digests.add(prog.digest())
                 flavour = "scalar" if so else "vector"
                 programs.append((f"{name}/{flavour}", prog))
+            if w.compiled:
+                for strat in STRATEGY_NAMES:
+                    if strat == "auto":
+                        continue   # the vector flavour above
+                    prog = w.build(strategy=strat)
+                    if prog.digest() in seen_digests:
+                        continue   # strategy fell back to auto's code
+                    seen_digests.add(prog.digest())
+                    programs.append((f"{name}/{strat}", prog))
         if examples:
             programs.extend(_example_programs())
 
@@ -342,11 +367,13 @@ def diff_runs(app: Optional[str] = None, config: str = "base",
               threads: int = 1, scalar_only: bool = False,
               apps: Optional[List[str]] = None,
               engine: str = "event",
-              func_engine: str = "reference") -> Tuple[str, int]:
+              func_engine: str = "reference",
+              strategy: str = "auto") -> Tuple[str, int]:
     """Differentially validate runs; returns (report, mismatch count).
 
-    With ``app``, checks that single (app, config, threads) run.
-    Without, sweeps the full Figure-3/5/6 run matrix -- every
+    With ``app``, checks that single (app, config, threads) run --
+    ``strategy`` picks the vectorization-strategy flavour for compiled
+    apps.  Without, sweeps the full Figure-3/5/6 run matrix -- every
     (app x config x threads) point behind the paper's headline
     figures -- proving the timing machine replays exactly what the
     functional executor computed.  ``--func-engine fast`` makes the
@@ -361,14 +388,15 @@ def diff_runs(app: Optional[str] = None, config: str = "base",
 
     if app is not None:
         specs = [RunSpec(app, get_config(config).name, threads,
-                         scalar_only=scalar_only)]
+                         scalar_only=scalar_only, strategy=strategy)]
     else:
         specs = E.matrix_for(["fig3", "fig5", "fig6"], apps=apps)
     rows = []
     details: List[str] = []
     bad = 0
     for spec in specs:
-        prog = get_workload(spec.app).program(scalar_only=spec.scalar_only)
+        prog = get_workload(spec.app).program(scalar_only=spec.scalar_only,
+                                              strategy=spec.strategy)
         kw: Dict[str, Any] = {} if engine == "event" else {"engine": engine}
         if func_engine != "reference":
             kw["func_engine"] = func_engine
@@ -473,6 +501,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scalar-only", action="store_true",
                         help="use the scalar program flavour "
                              "('run'/'trace'/'profile' verbs)")
+    parser.add_argument("--strategy", type=str, default="auto",
+                        help="vectorization strategy for compiled apps: "
+                             "auto | padding | peeling | unroll_jam "
+                             "('run'/'trace'/'profile'/'diff' verbs; see "
+                             "docs/compiler.md)")
+    parser.add_argument("--strategies", type=str, default=None,
+                        help="comma-separated strategy subset for the "
+                             "'compiler-tradeoff' sweep (default: all)")
     parser.add_argument("--out", type=str, default=None,
                         help="Chrome trace-event JSON output path "
                              "('trace' verb)")
@@ -558,9 +594,59 @@ def main(argv: Optional[List[str]] = None) -> int:
                                      threads=args.threads,
                                      scalar_only=args.scalar_only,
                                      apps=apps, engine=args.engine,
-                                     func_engine=args.func_engine)
+                                     func_engine=args.func_engine,
+                                     strategy=args.strategy)
         print(text)
         return 1 if mismatches else 0
+
+    if args.experiments[0] == "compiler-tradeoff":
+        if len(args.experiments) != 1:
+            parser.error("usage: vlt-repro compiler-tradeoff "
+                         "[--apps a,b] [--strategies s1,s2] [--config C] "
+                         "[--threads N] [--jobs N] [--json path]")
+        from ..compiler import STRATEGY_NAMES, VectStrategy
+        from .runner import ExperimentRunner
+        from .tradeoff import (bench_payload, compiler_tradeoff,
+                               render_tradeoff, tradeoff_matrix)
+        apps = args.apps.split(",") if args.apps else None
+        strategies = ([VectStrategy.parse(s).value
+                       for s in args.strategies.split(",")]
+                      if args.strategies else list(STRATEGY_NAMES))
+        runs = None
+        runner = None
+        if (args.jobs > 1 or args.cache_dir or args.timeout is not None
+                or args.verify or args.telemetry or args.progress
+                or args.func_engine != "reference"):
+            specs = tradeoff_matrix(apps, strategies, config=args.config,
+                                    threads=args.threads)
+            runner = ExperimentRunner(jobs=args.jobs,
+                                      cache_dir=args.cache_dir,
+                                      timeout=args.timeout,
+                                      retries=args.retries,
+                                      verify=args.verify,
+                                      engine=args.engine,
+                                      func_engine=args.func_engine,
+                                      telemetry=args.telemetry,
+                                      progress=args.progress)
+            t0 = time.time()
+            runner.run(specs)
+            runs = runner.results
+            print(runner.report())
+            print(f"[runner: {len(specs)} specs, "
+                  f"{time.time() - t0:.1f}s]\n")
+        try:
+            res = compiler_tradeoff(apps, strategies, config=args.config,
+                                    threads=args.threads, runs=runs)
+        except E.MissingRunError as exc:
+            print(f"compiler-tradeoff: SECTION FAILED -- required run "
+                  f"unavailable: {exc.spec} (see runner failures above)")
+            return 1
+        print(render_tradeoff(res))
+        out = args.json or "BENCH_compiler_tradeoff.json"
+        with open(out, "w") as fh:
+            json.dump(bench_payload(res), fh, indent=2)
+        print(f"\nwrote {out}")
+        return 1 if (runner is not None and runner.failures) else 0
 
     if args.experiments[0] == "tele":
         if len(args.experiments) != 2 or \
@@ -635,7 +721,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          threads=args.threads,
                          scalar_only=args.scalar_only,
                          engine=args.engine,
-                         func_engine=args.func_engine))
+                         func_engine=args.func_engine,
+                         strategy=args.strategy))
         return 0
 
     if args.experiments[0] == "trace":
@@ -647,7 +734,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         scalar_only=args.scalar_only, out=args.out,
                         max_events=args.max_events,
                         engine=args.engine,
-                        func_engine=args.func_engine))
+                        func_engine=args.func_engine,
+                        strategy=args.strategy))
         return 0
 
     if args.experiments[0] == "profile":
@@ -658,7 +746,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                           threads=args.threads,
                           scalar_only=args.scalar_only,
                           json_path=args.json,
-                          func_engine=args.func_engine))
+                          func_engine=args.func_engine,
+                          strategy=args.strategy))
         return 0
 
     if args.experiments[0] == "determinism":

@@ -74,10 +74,15 @@ class RunSpec:
     config: str            # configuration *name*, see get_config()
     threads: int = 1
     scalar_only: bool = False
+    #: vectorization strategy for compiled apps ("auto" | "padding" |
+    #: "peeling" | "unroll_jam"); hand-written apps alias it to "auto"
+    strategy: str = "auto"
 
     def __str__(self) -> str:
         flavour = ", scalar" if self.scalar_only else ""
-        return f"{self.app} on {self.config} ({self.threads} thr{flavour})"
+        strat = (f", {self.strategy}" if self.strategy != "auto" else "")
+        return (f"{self.app} on {self.config} "
+                f"({self.threads} thr{flavour}{strat})")
 
 
 @dataclass
@@ -222,7 +227,7 @@ def _spec_payload(spec: RunSpec, timeout_s: Optional[float],
             ctx["cache0"] = dict(cache.counters())
         with prof.phase("program_build"):
             prog = get_workload(spec.app).program(
-                scalar_only=spec.scalar_only)
+                scalar_only=spec.scalar_only, strategy=spec.strategy)
         cfg = get_config(spec.config)
         ctx["program_digest"] = prog.digest()
         ctx["config_digest"] = cfg.digest()

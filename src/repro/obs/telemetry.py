@@ -580,6 +580,9 @@ TREND_METRICS = (
     ("duplicate_burst", "jobs_per_s"),
     ("duplicate_burst", "dedupe_fraction"),
     ("mixed_load", "jobs_per_s"),
+    ("strategy_padding", "speedup_vs_auto"),
+    ("strategy_peeling", "speedup_vs_auto"),
+    ("strategy_unroll_jam", "speedup_vs_auto"),
 )
 
 

@@ -5,7 +5,8 @@ Importing this package registers every workload; use
 """
 
 from .base import (VerificationError, Workload, all_workload_names,
-                   get_workload, register, reset_workload_instances)
+                   compiled_workload_names, get_workload, register,
+                   reset_workload_instances)
 from .characteristics import (PAPER_TABLE4, AppCharacteristics,
                               characterize, characterize_all)
 
@@ -13,7 +14,8 @@ from .characteristics import (PAPER_TABLE4, AppCharacteristics,
 from . import mxm, sage, mpenc, trfd, multprec, bt, radix, ocean, barnes  # noqa: E402,F401
 
 __all__ = [
-    "VerificationError", "Workload", "all_workload_names", "get_workload",
-    "register", "reset_workload_instances", "PAPER_TABLE4",
+    "VerificationError", "Workload", "all_workload_names",
+    "compiled_workload_names", "get_workload", "register",
+    "reset_workload_instances", "PAPER_TABLE4",
     "AppCharacteristics", "characterize", "characterize_all",
 ]

@@ -35,6 +35,10 @@ class Workload(abc.ABC):
     name: str = ""
     #: does the base (non-scalar_only) flavour contain vector code?
     vectorizable: bool = True
+    #: is the program built by the mini-compiler (and therefore able to
+    #: honour a vectorization strategy)?  Hand-written apps ignore the
+    #: strategy knob entirely.
+    compiled: bool = False
     #: thread counts the program supports
     thread_counts: Tuple[int, ...] = (1, 2, 4, 8)
     #: per barrier-delimited phase: does VLT multithreading apply?
@@ -42,13 +46,17 @@ class Workload(abc.ABC):
     parallel_phases: Optional[List[bool]] = None
 
     def __init__(self) -> None:
-        self._cache: Dict[bool, Program] = {}
+        self._cache: Dict[Tuple[bool, str], Program] = {}
 
     # -- to implement --------------------------------------------------------
 
     @abc.abstractmethod
     def build(self, scalar_only: bool = False) -> Program:
-        """Construct the program (uncached)."""
+        """Construct the program (uncached).
+
+        Compiled workloads (``compiled = True``) additionally accept a
+        ``strategy`` keyword selecting the vectorization strategy.
+        """
 
     @abc.abstractmethod
     def verify(self, ex: Executor, program: Program) -> None:
@@ -56,17 +64,32 @@ class Workload(abc.ABC):
 
     # -- provided -------------------------------------------------------------
 
-    def program(self, scalar_only: bool = False) -> Program:
+    def program(self, scalar_only: bool = False,
+                strategy: str = "auto") -> Program:
         """Cached program instance for the requested flavour.
 
         Non-vectorizable apps have a single flavour (``build`` ignores
         ``scalar_only``), so the cache key is canonicalised to ``False``
         for them: both flavours alias one Program regardless of which
-        was requested first.
+        was requested first.  The vectorization ``strategy`` is likewise
+        canonicalised to ``"auto"`` for hand-written (non-``compiled``)
+        apps and for the scalar flavour (no vector code to reshape), so
+        a full-matrix strategy sweep aliases rather than duplicates the
+        programs the strategy cannot affect.  Unknown strategy names
+        raise :class:`repro.compiler.VectorizationError`.
         """
-        key = scalar_only and self.vectorizable
+        from ..compiler import VectStrategy
+        strategy = VectStrategy.parse(strategy).value
+        flavour = scalar_only and self.vectorizable
+        if not self.compiled or flavour:
+            strategy = "auto"
+        key = (flavour, strategy)
         if key not in self._cache:
-            prog = self.build(scalar_only=scalar_only)
+            if self.compiled and strategy != "auto":
+                prog = self.build(scalar_only=scalar_only,
+                                  strategy=strategy)
+            else:
+                prog = self.build(scalar_only=scalar_only)
             # gate every workload program through the static verifier
             # once per build; LintError here means the workload itself
             # is wrong, not the simulator
@@ -76,9 +99,10 @@ class Workload(abc.ABC):
         return self._cache[key]
 
     def run_and_verify(self, num_threads: int = 1,
-                       scalar_only: bool = False) -> Executor:
+                       scalar_only: bool = False,
+                       strategy: str = "auto") -> Executor:
         """Functional run + self-check; returns the executor."""
-        prog = self.program(scalar_only=scalar_only)
+        prog = self.program(scalar_only=scalar_only, strategy=strategy)
         ex = Executor(prog, num_threads=num_threads, record_trace=False)
         ex.run()
         self.verify(ex, prog)
@@ -126,6 +150,11 @@ def all_workload_names() -> List[str]:
              "radix", "ocean", "barnes"]
     return [n for n in order if n in _REGISTRY] + sorted(
         set(_REGISTRY) - set(order))
+
+
+def compiled_workload_names() -> List[str]:
+    """Names of the mini-compiler-built workloads (strategy-sweepable)."""
+    return [n for n in all_workload_names() if _REGISTRY[n].compiled]
 
 
 def reset_workload_instances() -> None:

@@ -29,13 +29,15 @@ class MXM(Workload):
 
     name = "mxm"
     vectorizable = True
+    compiled = True
     parallel_phases = None  # entirely parallel
 
     M = 20
     K = 20
     N = MVL
 
-    def build(self, scalar_only: bool = False) -> Program:
+    def build(self, scalar_only: bool = False,
+              strategy: str = "auto") -> Program:
         if scalar_only:
             raise ValueError("mxm has no scalar-threads flavour")
         rng = np.random.default_rng(42)
@@ -58,7 +60,8 @@ class MXM(Workload):
         ])
         return compile_kernel(
             kern, CompileOptions(vectorize=True, policy="maxvl",
-                                 threads=True, memory_kib=256))
+                                 threads=True, memory_kib=256,
+                                 strategy=strategy))
 
     def verify(self, ex: Executor, program: Program) -> None:
         got = ex.mem.read_f64_array(program.symbol_addr("C"),

@@ -29,6 +29,7 @@ class Sage(Workload):
 
     name = "sage"
     vectorizable = True
+    compiled = True
     parallel_phases = None
 
     N = 4 * MVL      # cells
@@ -37,7 +38,8 @@ class Sage(Workload):
     CQ = 0.25        # artificial-viscosity coefficient
     DT = 0.05
 
-    def build(self, scalar_only: bool = False) -> Program:
+    def build(self, scalar_only: bool = False,
+              strategy: str = "auto") -> Program:
         if scalar_only:
             raise ValueError("sage has no scalar-threads flavour")
         rng = np.random.default_rng(7)
@@ -65,7 +67,8 @@ class Sage(Workload):
         ])
         return compile_kernel(
             kern, CompileOptions(vectorize=True, policy="maxvl",
-                                 threads=True, memory_kib=256))
+                                 threads=True, memory_kib=256,
+                                 strategy=strategy))
 
     def _reference(self):
         rho, u, e = (a.copy() for a in self._init)

@@ -29,13 +29,15 @@ class TRFD(Workload):
 
     name = "trfd"
     vectorizable = True
+    compiled = True
     parallel_phases = None
 
     NP = 32          # pair indices (outer parallel loop)
     L20, L30, L35 = 20, 30, 35
     W = 36           # row width of the triangular workspace (>= NP+4)
 
-    def build(self, scalar_only: bool = False) -> Program:
+    def build(self, scalar_only: bool = False,
+              strategy: str = "auto") -> Program:
         if scalar_only:
             raise ValueError("trfd has no scalar-threads flavour")
         rng = np.random.default_rng(11)
@@ -74,7 +76,8 @@ class TRFD(Workload):
         ])
         return compile_kernel(
             kern, CompileOptions(vectorize=True, policy="innermost",
-                                 threads=True, memory_kib=256))
+                                 threads=True, memory_kib=256,
+                                 strategy=strategy))
 
     def _reference(self):
         xin, c20, c30, c35 = self._in

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.compiler import (Array, Assign, Const, Kernel, Loop, Reduce, Var,
+from repro.compiler import (POLICY_NAMES, Array, Assign, Const, Kernel, Loop,
+                            Reduce, Var, VectorizationError, VectPolicy,
                             body_vectorizable, choose_vector_loop)
 
 
@@ -89,8 +90,20 @@ class TestSelection:
 
     def test_unknown_policy_rejected(self):
         kern, *_ = self._nest(8, 8)
-        with pytest.raises(ValueError):
+        with pytest.raises(VectorizationError, match="fastest"):
             choose_vector_loop(kern, "fastest")
+
+    def test_policy_enum_accepted(self):
+        kern, outer, inner, i, j = self._nest(8, 64)
+        chosen = choose_vector_loop(kern, VectPolicy.MAXVL)
+        assert chosen == [inner] and inner.var is j
+
+    def test_policy_parse_roundtrip(self):
+        for name in POLICY_NAMES:
+            assert VectPolicy.parse(name).value == name
+            assert VectPolicy.parse(VectPolicy(name)) is VectPolicy(name)
+        with pytest.raises(VectorizationError, match="unknown"):
+            VectPolicy.parse("speculative")
 
     def test_imperfect_nest_not_interchanged(self):
         i, j = Var("i"), Var("j")

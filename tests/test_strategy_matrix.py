@@ -1,0 +1,113 @@
+"""Every compiled workload x every strategy: lint + differential clean.
+
+The tentpole guarantee of the strategy layer: whatever shape a strategy
+gives a workload's code, the program still passes the static verifier,
+still computes the right answer (the workload's own NumPy self-check),
+and the timing machine still replays the functional trace exactly.
+"""
+
+import pytest
+
+from repro.compiler import STRATEGY_NAMES
+from repro.timing.config import BASE, V2_CMP
+from repro.verify import lint
+from repro.verify.diff import differential_check
+from repro.workloads import compiled_workload_names, get_workload
+
+APPS = compiled_workload_names()
+
+
+def test_compiled_workload_names():
+    assert APPS == ["mxm", "sage", "trfd"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+@pytest.mark.parametrize("app", APPS)
+class TestStrategyMatrix:
+    def test_lint_clean(self, app, strategy):
+        prog = get_workload(app).program(strategy=strategy)
+        assert lint(prog) == []
+
+    def test_functional_self_check(self, app, strategy):
+        get_workload(app).run_and_verify(num_threads=2,
+                                         strategy=strategy)
+
+    def test_differential_clean(self, app, strategy):
+        # base (1 thread) plus a threaded machine point, so the
+        # runtime-split peel epilogues on threaded chunks are exercised
+        prog = get_workload(app).program(strategy=strategy)
+        for cfg, threads in ((BASE, 1), (V2_CMP, 2)):
+            report = differential_check(prog, cfg, num_threads=threads)
+            assert report.ok, report.render()
+
+
+def test_fallback_aliasing_table():
+    """Pin which strategies genuinely transform which workloads.
+
+    Padding falls back everywhere (mxm/sage trip counts are already
+    MVL multiples; trfd's loops are triangular, reductions, or
+    outer-indexed).  Unroll-and-jam only fires on mxm's perfect
+    (i, k, j) nest.  Peeling reshapes sage (runtime-split threaded
+    chunks) and trfd (short loops scalarized), but is the identity on
+    mxm's full-MVL strips.  A change here means the legality analyses
+    moved -- update docs/compiler.md's catalogue to match.
+    """
+    digest = {(a, s): get_workload(a).program(strategy=s).digest()
+              for a in APPS for s in STRATEGY_NAMES}
+    distinct = {(a, s) for a in APPS for s in STRATEGY_NAMES[1:]
+                if digest[(a, s)] != digest[(a, "auto")]}
+    assert distinct == {("mxm", "unroll_jam"),
+                        ("sage", "peeling"),
+                        ("trfd", "peeling")}
+
+
+class TestTradeoffDriver:
+    def test_sweep_report_and_bench_payload(self):
+        from repro.harness.tradeoff import (bench_payload,
+                                            compiler_tradeoff,
+                                            render_tradeoff)
+        res = compiler_tradeoff(apps=["mxm"])
+        assert res.apps == ("mxm",)
+        assert res.strategies == tuple(STRATEGY_NAMES)
+        # deterministic cycles: aliased strategies cost exactly auto
+        assert res.cell("mxm", "padding").cycles \
+            == res.cell("mxm", "auto").cycles
+        assert res.cell("mxm", "padding").aliases == "auto"
+        # unroll_jam genuinely transforms mxm and must not lose ops
+        jam = res.cell("mxm", "unroll_jam")
+        assert jam.aliases is None
+        assert jam.vector_ops == res.cell("mxm", "auto").vector_ops
+        report = render_tradeoff(res)
+        assert "unroll_jam" in report and "fell back" in report
+        payload = bench_payload(res)
+        assert payload["benchmark"] == "compiler_tradeoff"
+        row = payload["results"]["strategy_unroll_jam"]
+        assert row["speedup_vs_auto"] > 0
+        assert payload["results"]["mxm@auto"]["speedup_vs_auto"] == 1.0
+
+    def test_rejects_non_compiled_apps(self):
+        from repro.harness.tradeoff import compiler_tradeoff
+        with pytest.raises(ValueError, match="not compiled"):
+            compiler_tradeoff(apps=["radix"])
+
+    def test_matrix_specs_carry_strategy(self):
+        from repro.harness.tradeoff import tradeoff_matrix
+        specs = tradeoff_matrix(apps=["mxm", "trfd"])
+        assert len(specs) == 2 * len(STRATEGY_NAMES)
+        assert {s.strategy for s in specs} == set(STRATEGY_NAMES)
+        assert all(s.config == "base" and s.threads == 1 for s in specs)
+
+
+def test_strategy_cache_aliases_programs():
+    """program() canonicalises and caches: a fallen-back strategy
+    returns the *same object* as auto once both were requested."""
+    w = get_workload("mxm")
+    assert w.program(strategy="padding") is not None
+    # padding falls back on mxm -> identical digest, distinct cache
+    # slots, but the build is deterministic either way
+    assert (w.program(strategy="padding").digest()
+            == w.program(strategy="auto").digest())
+    # unknown strategies are rejected before touching the cache
+    from repro.compiler import VectorizationError
+    with pytest.raises(VectorizationError):
+        w.program(strategy="sideways")
